@@ -1,0 +1,227 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Three reconstructed/engineered knobs are swept to show how much each
+matters:
+
+* **A1 — pre-pass duration estimator** (DESIGN.md reconstruction 1):
+  the schedule pressure needs processor-independent duration
+  estimates; the paper does not say which SynDEx uses.  We sweep
+  ``average`` / ``min`` / ``max``.
+* **A2 — timeout drain margin** (Section 6.1 item 2's tightness
+  trade-off): rank-0 watchdog deadlines carry a congestion slack of
+  N "largest frames".  0 = tightest detection but spurious elections
+  under failure congestion; 2 = safest but slowest take-over.
+* **A3 — tie-break exploration budget** (DESIGN.md reconstruction 2):
+  how much makespan the best-of-seeds search buys over the single
+  deterministic run.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.list_scheduler import best_over_seeds, explore_seeds
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.graphs.generators import random_bus_problem
+from repro.sim import FailureScenario, simulate
+
+from conftest import emit
+
+SEEDS = range(5)
+
+
+def test_a1_estimate_mode(benchmark):
+    """A1: sensitivity of the heuristics to the pre-pass estimator."""
+
+    def sweep():
+        results = {}
+        for mode in ("average", "min", "max"):
+            spans = []
+            for seed in SEEDS:
+                problem = random_bus_problem(
+                    operations=12, processors=4, failures=1, seed=seed
+                )
+                spans.append(
+                    Solution1Scheduler(problem, estimate_mode=mode).run().makespan
+                )
+            results[mode] = spans
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        headers=("estimator", "mean makespan", "min", "max"),
+        title="A1 - pre-pass duration estimator (Solution 1, bus, K=1)",
+    )
+    for mode, spans in results.items():
+        table.add(
+            mode,
+            round(statistics.mean(spans), 3),
+            round(min(spans), 3),
+            round(max(spans), 3),
+        )
+    emit(table)
+    means = {mode: statistics.mean(spans) for mode, spans in results.items()}
+    # The choice shifts individual schedules but not the ballpark:
+    # all estimators stay within 25% of each other on average.
+    best, worst = min(means.values()), max(means.values())
+    assert worst <= 1.25 * best
+
+
+def test_a2_drain_margin(benchmark, bus_problem):
+    """A2: spurious elections vs transient speed, per drain margin."""
+
+    def sweep():
+        rows = []
+        for margin in (0.0, 1.0, 2.0):
+            schedule = Solution1Scheduler(
+                bus_problem, drain_margin_frames=margin
+            ).run().schedule
+            healthy = simulate(schedule)
+            # Count spurious detections across all single-crash runs:
+            # any detection whose suspect is not the crashed processor.
+            spurious = 0
+            worst_transient = healthy.response_time
+            for victim in ("P1", "P2", "P3"):
+                trace = simulate(schedule, FailureScenario.crash(victim, 0.5))
+                assert trace.completed
+                spurious += sum(
+                    1 for d in trace.detections if d.suspect != victim
+                )
+                worst_transient = max(worst_transient, trace.response_time)
+            rows.append(
+                (margin, len(healthy.detections), spurious, worst_transient)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        headers=(
+            "margin (frames)", "false detections (healthy run)",
+            "spurious detections (crash runs)", "worst transient response",
+        ),
+        title="A2 - timeout drain margin (Solution 1 on the paper example)",
+    )
+    for margin, healthy_false, spurious, worst in rows:
+        table.add(margin, healthy_false, spurious, round(worst, 4))
+    emit(table)
+    by_margin = {row[0]: row for row in rows}
+    # The failure-free run never misfires, whatever the margin (the
+    # rank-0 deadline is anchored on the exact static frame end).
+    assert all(row[1] == 0 for row in rows)
+    # A larger margin never increases spurious detections...
+    assert by_margin[2.0][2] <= by_margin[0.0][2]
+    # ...and the tightest margin never has a *slower* worst transient.
+    assert by_margin[0.0][3] <= by_margin[2.0][3] + 1e-9
+
+
+def test_a3_seed_budget(benchmark):
+    """A3: value of exploring the tie-break family."""
+
+    def sweep():
+        budgets = (0, 4, 16, 64)
+        means = {}
+        for attempts in budgets:
+            spans = []
+            for seed in SEEDS:
+                problem = random_bus_problem(
+                    operations=12, processors=4, failures=1, seed=seed
+                )
+                if attempts == 0:
+                    spans.append(SyndexScheduler(problem).run().makespan)
+                else:
+                    spans.append(
+                        best_over_seeds(
+                            SyndexScheduler, problem, attempts=attempts
+                        ).makespan
+                    )
+            means[attempts] = statistics.mean(spans)
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        headers=("seed attempts", "mean baseline makespan"),
+        title="A3 - tie-break exploration budget (baseline, bus, K=1)",
+    )
+    for attempts, value in means.items():
+        table.add(attempts if attempts else "deterministic", round(value, 3))
+    emit(table)
+    budgets = sorted(means)
+    for smaller, larger in zip(budgets, budgets[1:]):
+        assert means[larger] <= means[smaller] + 1e-9
+
+
+def test_a6_insertion_vs_append(benchmark):
+    """A6: what does the paper's append-only policy cost vs classical
+    insertion-based list scheduling (an extension the paper does not
+    use)?  Links stay append-only in both (the static comm total order
+    is load-bearing); only computation units differ."""
+    from repro.core.insertion import (
+        InsertionSolution1Scheduler,
+        InsertionSyndexScheduler,
+    )
+
+    def sweep():
+        rows = []
+        for label, append_cls, insert_cls, failures in (
+            ("baseline", SyndexScheduler, InsertionSyndexScheduler, 0),
+            ("solution1", Solution1Scheduler, InsertionSolution1Scheduler, 1),
+        ):
+            append_spans, insert_spans = [], []
+            for seed in SEEDS:
+                problem = random_bus_problem(
+                    operations=14, processors=4, failures=failures,
+                    seed=seed, comm_over_comp=1.0,
+                )
+                append_spans.append(
+                    best_over_seeds(append_cls, problem, attempts=8).makespan
+                )
+                insert_spans.append(
+                    best_over_seeds(insert_cls, problem, attempts=8).makespan
+                )
+            rows.append((label, append_spans, insert_spans))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        headers=("method", "append-only mean", "insertion mean", "gain"),
+        title="A6 - append-only (paper) vs insertion-based placement",
+    )
+    for label, append_spans, insert_spans in rows:
+        append_mean = statistics.mean(append_spans)
+        insert_mean = statistics.mean(insert_spans)
+        table.add(
+            label,
+            round(append_mean, 3),
+            round(insert_mean, 3),
+            f"{100 * (1 - insert_mean / append_mean):.1f}%",
+        )
+        # Insertion with seed exploration should not lose on average.
+        assert insert_mean <= append_mean * 1.02 + 1e-9
+    emit(table)
+
+
+def test_a3_paper_family_size(benchmark, bus_problem, p2p_problem):
+    """A3b: how many distinct schedules the tie family holds on the
+    paper's example (context for the 8.6-vs-8.0 baseline discussion)."""
+
+    def measure():
+        seeds = [None] + list(range(64))
+        bus = {
+            round(r.makespan, 6)
+            for r in explore_seeds(SyndexScheduler, bus_problem, seeds)
+        }
+        p2p = {
+            round(r.makespan, 6)
+            for r in explore_seeds(SyndexScheduler, p2p_problem, seeds)
+        }
+        return bus, p2p
+
+    bus, p2p = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"A3b - distinct baseline makespans over 65 draws: "
+        f"bus {sorted(bus)} | p2p {sorted(p2p)}"
+    )
+    assert 8.6 in bus and 8.0 in p2p  # the paper's draws are in there

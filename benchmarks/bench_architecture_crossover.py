@@ -1,0 +1,111 @@
+"""Experiment X4 (Section 5.6 criterion 4): appropriateness of each
+solution to each architecture kind.
+
+The paper's qualitative claim: Solution 1 is suited to multi-point
+(bus) architectures, Solution 2 to point-to-point ones.  This bench
+runs both heuristics on both architecture shapes — the paper's example
+and a sweep of random workloads — and reports the 2x2 makespan matrix,
+asserting the crossover:
+
+* on the bus, Solution 1 <= Solution 2 (replicated comms serialize);
+* on point-to-point links, Solution 2's extra frames ride parallel
+  links, closing (or inverting) the gap.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.list_scheduler import best_over_seeds
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+
+from conftest import emit
+
+SEEDS = range(5)
+ATTEMPTS = 8
+
+
+def test_crossover_on_paper_example(benchmark, bus_problem, p2p_problem):
+    """X4a: the 2x2 matrix on the paper's own workload."""
+
+    def measure():
+        matrix = {}
+        for arch_name, problem in (("bus", bus_problem), ("p2p", p2p_problem)):
+            for sol_name, cls in (
+                ("solution1", Solution1Scheduler),
+                ("solution2", Solution2Scheduler),
+            ):
+                matrix[(arch_name, sol_name)] = cls(problem).run().makespan
+        return matrix
+
+    matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        headers=("architecture", "solution1", "solution2", "better"),
+        title="X4a - makespans on the paper workload (deterministic runs)",
+    )
+    for arch in ("bus", "p2p"):
+        s1 = matrix[(arch, "solution1")]
+        s2 = matrix[(arch, "solution2")]
+        table.add(arch, round(s1, 4), round(s2, 4),
+                  "solution1" if s1 <= s2 else "solution2")
+    emit(table)
+    # Bus: Solution 1 must win (the paper's headline claim).
+    assert matrix[("bus", "solution1")] <= matrix[("bus", "solution2")]
+    # Solution 2 improves when moving from bus to parallel links.
+    assert matrix[("p2p", "solution2")] <= matrix[("bus", "solution2")]
+
+
+def test_crossover_on_random_workloads(benchmark):
+    """X4b: the same matrix averaged over random workloads."""
+
+    def measure():
+        sums = {("bus", "s1"): [], ("bus", "s2"): [],
+                ("p2p", "s1"): [], ("p2p", "s2"): []}
+        for seed in SEEDS:
+            bus = random_bus_problem(
+                operations=12, processors=4, failures=1, seed=seed,
+                comm_over_comp=1.0,
+            )
+            p2p = random_p2p_problem(
+                operations=12, processors=4, failures=1, seed=seed,
+                comm_over_comp=1.0,
+            )
+            sums[("bus", "s1")].append(
+                best_over_seeds(Solution1Scheduler, bus, ATTEMPTS).makespan
+            )
+            sums[("bus", "s2")].append(
+                best_over_seeds(Solution2Scheduler, bus, ATTEMPTS).makespan
+            )
+            sums[("p2p", "s1")].append(
+                best_over_seeds(Solution1Scheduler, p2p, ATTEMPTS).makespan
+            )
+            sums[("p2p", "s2")].append(
+                best_over_seeds(Solution2Scheduler, p2p, ATTEMPTS).makespan
+            )
+        return {key: statistics.mean(values) for key, values in sums.items()}
+
+    means = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        headers=("architecture", "solution1 mean", "solution2 mean",
+                 "solution2/solution1"),
+        title="X4b - mean makespans over random workloads (comm-heavy)",
+    )
+    for arch in ("bus", "p2p"):
+        s1 = means[(arch, "s1")]
+        s2 = means[(arch, "s2")]
+        table.add(arch, round(s1, 3), round(s2, 3), round(s2 / s1, 3))
+    emit(table)
+
+    bus_ratio = means[("bus", "s2")] / means[("bus", "s1")]
+    p2p_ratio = means[("p2p", "s2")] / means[("p2p", "s1")]
+    # Solution 2's relative cost is higher on the bus than on parallel
+    # point-to-point links: the crossover direction the paper argues.
+    emit(
+        f"X4b - Solution-2/Solution-1 ratio: bus {bus_ratio:.3f} vs "
+        f"p2p {p2p_ratio:.3f}"
+    )
+    assert bus_ratio >= p2p_ratio - 0.05
+    assert means[("bus", "s2")] >= means[("bus", "s1")] - 1e-9

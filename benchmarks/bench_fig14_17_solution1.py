@@ -1,0 +1,109 @@
+"""Experiments F14-F17: the Solution-1 heuristic on the bus example.
+
+Regenerates the paper's intermediate schedules (Figures 14-16) and the
+final fault-tolerant schedule (Figure 17, makespan 9.4), timing the
+heuristic itself.
+"""
+
+import pytest
+
+from repro.analysis import render_schedule
+from repro.analysis.report import ComparisonRow, comparison_table
+from repro.core.solution1 import Solution1Scheduler
+from repro.paper import expected
+
+from conftest import emit
+
+
+def test_fig14_16_intermediate_schedules(benchmark, bus_problem):
+    """F14-F16: steps 2-4 schedule I+A, then B (P2 main, P3 backup),
+    then C (P1 main, P3 backup), as narrated in Section 6.5."""
+    result = benchmark(lambda: Solution1Scheduler(bus_problem).run())
+
+    fig14 = result.partial_schedule(2)
+    assert sorted(fig14.operations) == ["A", "I"]
+
+    fig15 = result.partial_schedule(3)
+    assert sorted(fig15.operations) == ["A", "B", "I"]
+    assert tuple(fig15.processors_of("B")) == expected.FIG15_B_PROCESSORS
+
+    fig16 = result.partial_schedule(4)
+    assert sorted(fig16.operations) == ["A", "B", "C", "I"]
+    assert tuple(fig16.processors_of("C")) == expected.FIG16_C_PROCESSORS
+
+    emit("F14 - after scheduling I and A:")
+    emit(render_schedule(fig14))
+    emit("F15 - after scheduling B (main P2, backup P3):")
+    emit(render_schedule(fig15))
+    emit("F16 - after scheduling C (main P1, backup P3):")
+    emit(render_schedule(fig16))
+
+
+def test_fig17_final_schedule(benchmark, bus_problem):
+    """F17: the final Solution-1 schedule; paper makespan 9.4."""
+    result = benchmark(lambda: Solution1Scheduler(bus_problem).run())
+    emit("F17 - final fault-tolerant schedule (Solution 1, K=1):")
+    emit(render_schedule(result.schedule))
+    emit(
+        comparison_table(
+            [
+                ComparisonRow(
+                    "Fig 17 makespan",
+                    expected.FIG17_SOLUTION1_MAKESPAN,
+                    round(result.makespan, 6),
+                ),
+                ComparisonRow(
+                    "replicas per operation", 2,
+                    len(result.schedule.replicas("A")),
+                ),
+            ]
+        )
+    )
+    assert result.makespan == pytest.approx(expected.FIG17_SOLUTION1_MAKESPAN)
+
+
+def test_fig17_executive_macrocode(benchmark, fig17_result):
+    """Figures 9, 10, 12 concretized: the generated distributed
+    executive for the Figure 17 schedule — per-processor EXEC/RECV
+    sequences, planned SENDs, and the OpComm WATCHDOG ladders."""
+    from repro.codegen import Opcode, generate_executive, render_executive
+
+    schedule = fig17_result.schedule
+    programs = benchmark(lambda: generate_executive(schedule))
+    emit(render_executive(schedule))
+    execs = sum(len(p.instructions(Opcode.EXEC)) for p in programs.values())
+    watchdogs = sum(
+        len(p.instructions(Opcode.WATCHDOG)) for p in programs.values()
+    )
+    assert execs == len(schedule.all_replicas())
+    assert watchdogs == len(
+        {(t.dependency, t.watcher) for t in schedule.timeouts}
+    )
+
+
+def test_fig17_timeout_tables(benchmark, fig17_result):
+    """The statically computed OpComm deadlines attached to Figure 17
+    (Section 6.3's t_k^(i) values for this schedule)."""
+    schedule = fig17_result.schedule
+    ladder = benchmark(
+        lambda: [
+            schedule.timeout_ladder(entry.op, entry.dependency, entry.watcher)
+            for entry in schedule.timeouts
+        ]
+    )
+    assert ladder
+    from repro.analysis.report import Table
+
+    table = Table(
+        headers=("op", "message", "watcher", "suspects", "deadline"),
+        title="Solution-1 timeout ladders (Section 6.3 reconstruction)",
+    )
+    for entry in schedule.timeouts:
+        table.add(
+            entry.op,
+            f"{entry.dependency[0]}->{entry.dependency[1]}",
+            entry.watcher,
+            entry.candidate,
+            round(entry.deadline, 4),
+        )
+    emit(table)

@@ -1,0 +1,100 @@
+"""Experiment F18: simulated executions of the Solution-1 schedule
+when P2 crashes — Figure 18(a) the transient iteration, Figure 18(b)
+the subsequent iterations.
+
+The paper's observations, asserted here:
+
+* the iteration still completes (K=1 is honoured dynamically);
+* the transient response time exceeds the failure-free one by the
+  "waiting delay of the response from the faulty processor";
+* the number of inter-processor communications does not increase
+  after the failure (Section 6.4's claim);
+* subsequent iterations (fail flags set) stop paying the timeouts.
+"""
+
+import pytest
+
+from repro.analysis import render_schedule, render_trace
+from repro.analysis.report import Table
+from repro.core.degrade import degraded_schedule
+from repro.sim import FailureScenario, simulate, transient_then_steady
+
+from conftest import emit
+
+
+def test_fig18a_transient_iteration(benchmark, fig17_result):
+    """F18(a): P2 crashes mid-iteration; backups detect and take over."""
+    schedule = fig17_result.schedule
+    trace = benchmark(
+        lambda: simulate(schedule, FailureScenario.crash("P2", at=3.0))
+    )
+    emit("F18(a) - transient iteration, P2 crashes at t=3.0:")
+    emit(render_trace(trace))
+    assert trace.completed
+    assert trace.detections, "the failure must be detected via timeouts"
+    assert trace.takeover_frames(), "a backup must send in the main's place"
+    healthy = simulate(schedule)
+    assert trace.response_time >= healthy.response_time
+
+
+def test_fig18b_subsequent_iteration(benchmark, fig17_result):
+    """F18(b): P2 dead and already detected; no timeouts are paid."""
+    schedule = fig17_result.schedule
+    trace = benchmark(
+        lambda: simulate(
+            schedule, FailureScenario.dead_from_start("P2", known=True)
+        )
+    )
+    emit("F18(b) - subsequent iteration (P2 known dead):")
+    emit(render_trace(trace))
+    assert trace.completed
+    assert trace.detections == []
+
+
+def test_fig18b_static_subsequent_schedule(benchmark, fig17_result):
+    """F18(b) as a *static* artifact: the permanent subsequent schedule
+    (dead replicas removed, surviving candidates promoted), with
+    Section 6.4's fewer-communications claim asserted."""
+    original = fig17_result.schedule
+    degraded = benchmark(lambda: degraded_schedule(original, {"P2"}))
+    emit("F18(b) - static subsequent schedule (P2 permanently dead):")
+    emit(render_schedule(degraded))
+    assert degraded.processor_timeline("P2") == []
+    assert (
+        degraded.inter_processor_message_count()
+        <= original.inter_processor_message_count()
+    )
+    emit(
+        f"F18(b) - frames: {degraded.inter_processor_message_count()} "
+        f"(initial schedule: {original.inter_processor_message_count()})"
+    )
+
+
+def test_fig18_transient_vs_subsequent(benchmark, fig17_result):
+    """The full Figure 18 story in one run: transient then steady."""
+    schedule = fig17_result.schedule
+    run = benchmark(
+        lambda: transient_then_steady(schedule, "P2", 3.0, steady_iterations=2)
+    )
+    table = Table(
+        headers=("iteration", "kind", "response", "detections", "takeovers"),
+        title="F18 - response times across iterations (P2 crashes at 3.0)",
+    )
+    healthy = simulate(schedule)
+    table.add("-", "failure-free", round(healthy.response_time, 4), 0, 0)
+    for index, trace in enumerate(run.iterations):
+        kind = "transient" if index == 0 else "subsequent"
+        table.add(
+            index,
+            kind,
+            round(trace.response_time, 4),
+            len(trace.detections),
+            len(trace.takeover_frames()),
+        )
+    emit(table)
+    assert run.all_completed
+    assert run.response_times[1] <= run.response_times[0] + 1e-9
+    # Section 6.4: no more delivered frames under failure than planned.
+    planned = schedule.inter_processor_message_count()
+    for trace in run.iterations:
+        assert trace.delivered_frame_count <= planned

@@ -1,0 +1,71 @@
+"""Experiment F19: the non-fault-tolerant bus schedule and the
+Section 6.6 overhead computation (9.4 - 8.6 = 0.8).
+
+The paper's heuristic draws pressure ties at random; Figure 19 is one
+draw of that family.  The bench times a single baseline run and then
+verifies that the paper's exact 8.6 schedule is recovered by the seed
+search, and that the published overhead follows.
+"""
+
+import pytest
+
+from repro.analysis import overhead, render_schedule
+from repro.analysis.report import ComparisonRow, comparison_table
+from repro.core.list_scheduler import best_over_seeds
+from repro.core.syndex import SyndexScheduler
+from repro.paper import expected
+
+from conftest import emit
+
+
+def test_fig19_baseline_schedule(benchmark, bus_problem, fig19_result):
+    """F19: plain SynDEx schedule on the bus; paper makespan 8.6."""
+    benchmark(lambda: SyndexScheduler(bus_problem).run())
+    emit("F19 - non-fault-tolerant schedule (paper's tie-break draw):")
+    emit(render_schedule(fig19_result.schedule))
+    assert fig19_result.makespan == pytest.approx(
+        expected.FIG19_BASELINE_MAKESPAN
+    )
+
+
+def test_fig19_overhead(benchmark, bus_problem, fig17_result, fig19_result):
+    """Section 6.6: overhead = 9.4 - 8.6 = 0.8 time units."""
+    report = benchmark(
+        lambda: overhead(fig19_result.schedule, fig17_result.schedule)
+    )
+    emit(
+        comparison_table(
+            [
+                ComparisonRow(
+                    "baseline makespan (Fig 19)",
+                    expected.FIG19_BASELINE_MAKESPAN,
+                    round(fig19_result.makespan, 6),
+                ),
+                ComparisonRow(
+                    "fault-tolerant makespan (Fig 17)",
+                    expected.FIG17_SOLUTION1_MAKESPAN,
+                    round(fig17_result.makespan, 6),
+                ),
+                ComparisonRow(
+                    "overhead (Section 6.6)",
+                    expected.FIRST_EXAMPLE_OVERHEAD,
+                    round(report.absolute, 6),
+                ),
+            ],
+            title="first example: fault-tolerance overhead",
+        )
+    )
+    assert report.absolute == pytest.approx(expected.FIRST_EXAMPLE_OVERHEAD)
+
+
+def test_fig19_tie_break_family(benchmark, bus_problem):
+    """The whole tie-break family of the baseline heuristic: the
+    paper's 8.6 is one draw; the best draw reaches 8.0."""
+    best = benchmark(
+        lambda: best_over_seeds(SyndexScheduler, bus_problem, attempts=32)
+    )
+    emit(
+        f"baseline tie-break family on the bus example: best makespan "
+        f"= {best.makespan:g} (paper's draw: 8.6)"
+    )
+    assert best.makespan <= expected.FIG19_BASELINE_MAKESPAN + 1e-9

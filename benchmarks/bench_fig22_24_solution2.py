@@ -1,0 +1,87 @@
+"""Experiments F22 and F24: Solution 2 on the point-to-point example
+and the Section 7.4 overhead computation (8.9 - 8.0 = 0.9)."""
+
+import pytest
+
+from repro.analysis import overhead, render_schedule
+from repro.analysis.report import ComparisonRow, comparison_table
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.paper import expected
+
+from conftest import emit
+
+
+def test_fig22_solution2_schedule(benchmark, p2p_problem):
+    """F22: Solution-2 schedule, failure-free; paper makespan 8.9."""
+    result = benchmark(lambda: Solution2Scheduler(p2p_problem).run())
+    emit("F22 - fault-tolerant schedule (Solution 2, K=1):")
+    emit(render_schedule(result.schedule))
+    assert result.makespan == pytest.approx(expected.FIG22_SOLUTION2_MAKESPAN)
+
+
+def test_fig22_replicated_comms(benchmark, fig22_result, p2p_problem):
+    """Section 7.3: every comp replicated twice, comms replicated
+    unless suppressed by a co-located producer replica."""
+    schedule = fig22_result.schedule
+    counts = benchmark(
+        lambda: {
+            dep.key: len(
+                [s for s in schedule.comms_for_dependency(dep.key) if s.hop == 0]
+            )
+            for dep in p2p_problem.algorithm.dependencies
+        }
+    )
+    from repro.analysis.report import Table
+
+    table = Table(
+        headers=("dependency", "frames"),
+        title="F22 - inter-processor frames per dependency",
+    )
+    for dep, count in counts.items():
+        table.add(f"{dep[0]}->{dep[1]}", count)
+    emit(table)
+    assert max(counts.values()) <= 2 * len(
+        p2p_problem.architecture.processor_names
+    )
+    assert any(count >= 2 for count in counts.values())
+
+
+def test_fig24_baseline_schedule(benchmark, p2p_problem, fig24_result):
+    """F24: plain SynDEx schedule on point-to-point links; paper 8.0."""
+    benchmark(lambda: SyndexScheduler(p2p_problem).run())
+    emit("F24 - non-fault-tolerant schedule (paper's tie-break draw):")
+    emit(render_schedule(fig24_result.schedule))
+    assert fig24_result.makespan == pytest.approx(
+        expected.FIG24_BASELINE_MAKESPAN
+    )
+
+
+def test_fig24_overhead(benchmark, fig22_result, fig24_result):
+    """Section 7.4: overhead = 8.9 - 8.0 = 0.9 time units."""
+    report = benchmark(
+        lambda: overhead(fig24_result.schedule, fig22_result.schedule)
+    )
+    emit(
+        comparison_table(
+            [
+                ComparisonRow(
+                    "baseline makespan (Fig 24)",
+                    expected.FIG24_BASELINE_MAKESPAN,
+                    round(fig24_result.makespan, 6),
+                ),
+                ComparisonRow(
+                    "fault-tolerant makespan (Fig 22)",
+                    expected.FIG22_SOLUTION2_MAKESPAN,
+                    round(fig22_result.makespan, 6),
+                ),
+                ComparisonRow(
+                    "overhead (Section 7.4)",
+                    expected.SECOND_EXAMPLE_OVERHEAD,
+                    round(report.absolute, 6),
+                ),
+            ],
+            title="second example: fault-tolerance overhead",
+        )
+    )
+    assert report.absolute == pytest.approx(expected.SECOND_EXAMPLE_OVERHEAD)

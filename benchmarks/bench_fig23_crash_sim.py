@@ -1,0 +1,94 @@
+"""Experiment F23: simulated Solution-2 execution when P2 crashes
+after executing comp A (the paper's transient diagram for the second
+example).
+
+Asserted observations from Section 7.3/7.4:
+
+* the iteration completes with *no* timeout and *no* detection — the
+  redundant copies cover the loss immediately;
+* frames toward the dead processor are discarded (never delivered);
+* simultaneous failures are supported (no timeout accumulation), shown
+  here on a K=2 problem.
+"""
+
+import pytest
+
+from repro.analysis import render_trace
+from repro.analysis.report import Table
+from repro.core.solution2 import schedule_solution2
+from repro.graphs.generators import random_p2p_problem
+from repro.sim import FailureScenario, simulate
+
+from conftest import emit
+
+
+def test_fig23_transient_iteration(benchmark, fig22_result):
+    """F23: P2 crashes at t=3.0 (right after A completes on P2)."""
+    schedule = fig22_result.schedule
+    trace = benchmark(
+        lambda: simulate(schedule, FailureScenario.crash("P2", at=3.0))
+    )
+    emit("F23 - transient iteration, P2 crashes at t=3.0 (after A):")
+    emit(render_trace(trace))
+    assert trace.completed
+    assert trace.detections == [], "Solution 2 never waits on timeouts"
+    # Frames toward P2 after its death are transmitted but discarded.
+    late_to_p2 = [
+        frame
+        for frame in trace.frames
+        if "P2" in frame.destinations and frame.end >= 3.0
+    ]
+    assert late_to_p2, "redundant copies toward the dead P2 exist"
+    assert all(r.processor != "P2" or r.end <= 3.0 for r in trace.executions
+               if r.completed)
+
+
+def test_fig23_response_comparison(benchmark, fig22_result):
+    """Crash responses per victim: no detection delay anywhere."""
+    schedule = fig22_result.schedule
+
+    def run_all():
+        return {
+            victim: simulate(schedule, FailureScenario.crash(victim, 3.0))
+            for victim in ("P1", "P2", "P3")
+        }
+
+    traces = benchmark(run_all)
+    healthy = simulate(schedule)
+    table = Table(
+        headers=("scenario", "response", "completed", "detections"),
+        title="F23 - Solution-2 responses under single crashes at t=3",
+    )
+    table.add("failure-free", round(healthy.response_time, 4), True, 0)
+    for victim, trace in traces.items():
+        table.add(
+            f"crash {victim}@3.0",
+            round(trace.response_time, 4),
+            trace.completed,
+            len(trace.detections),
+        )
+        assert trace.completed
+        assert trace.detections == []
+    emit(table)
+
+
+def test_fig23_simultaneous_failures(benchmark):
+    """Section 7.4: 'the system supports the arrival of several
+    failures at the same time' — a K=2 Solution-2 schedule survives a
+    double simultaneous crash with zero detection delay."""
+    problem = random_p2p_problem(operations=10, processors=4, failures=2, seed=7)
+    schedule = schedule_solution2(problem).schedule
+    procs = problem.architecture.processor_names
+
+    trace = benchmark(
+        lambda: simulate(
+            schedule, FailureScenario.simultaneous(procs[:2], at=2.0)
+        )
+    )
+    emit(
+        f"double simultaneous crash of {procs[:2]} at t=2.0: "
+        f"completed={trace.completed}, response={trace.response_time:g}, "
+        f"detections={len(trace.detections)}"
+    )
+    assert trace.completed
+    assert trace.detections == []

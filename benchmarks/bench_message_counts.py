@@ -1,0 +1,121 @@
+"""Experiment X5 (Section 6.4): message-count minimality of Solution 1.
+
+The paper claims:
+
+1. each data-dependency leads to at most ``K + 1`` inter-processor
+   communications in the Solution-1 schedule — "in this sense ... the
+   number of messages in the fault-tolerant schedule is minimal";
+2. when a failure occurs, the number of inter-processor
+   communications in the resulting schedule is *less* than in the
+   initial (fault-free) schedule.
+
+Both are verified here — statically on schedules across K, and
+dynamically by counting the frames actually delivered in crashed runs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.metrics import message_counts
+from repro.analysis.report import Table
+from repro.core.solution1 import schedule_solution1
+from repro.core.solution2 import schedule_solution2
+from repro.graphs.generators import random_bus_problem
+from repro.sim import FailureScenario, simulate
+
+from conftest import emit
+
+
+def test_static_message_bound(benchmark):
+    """X5a: at most K+1 logical sends per dependency (Section 6.4)."""
+
+    def sweep():
+        rows = []
+        for k in (0, 1, 2):
+            problem = random_bus_problem(
+                operations=12, processors=4, failures=k, seed=4
+            )
+            schedule = schedule_solution1(problem).schedule
+            per_dep = {}
+            for slot in schedule.comms:
+                if slot.hop == 0:
+                    per_dep[slot.dependency] = per_dep.get(slot.dependency, 0) + 1
+            rows.append((k, schedule, max(per_dep.values()) if per_dep else 0))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        headers=("K", "frames", "max sends per dependency", "bound K+1"),
+        title="X5a - Solution-1 static message counts vs K (bus)",
+    )
+    for k, schedule, per_dep_max in rows:
+        counts = message_counts(schedule)
+        table.add(k, counts["frames"], per_dep_max, k + 1)
+        assert per_dep_max <= k + 1
+    emit(table)
+
+
+def test_paper_example_single_frame_per_dependency(benchmark, fig17_result):
+    """X5b: on the paper's single-bus example, each communicated
+    dependency occupies the bus exactly once."""
+    schedule = fig17_result.schedule
+    counts = benchmark(lambda: message_counts(schedule))
+    emit(
+        f"X5b - Figure 17 schedule: {counts['frames']} frames for "
+        f"{counts['dependencies_with_traffic']} communicated dependencies "
+        f"(8 dependencies total, the rest are intra-processor)"
+    )
+    assert counts["per_dependency_max"] == 1
+
+
+def test_fewer_messages_after_failure(benchmark, fig17_result):
+    """X5c: Section 6.4's dynamic claim — the schedule executed after a
+    failure carries no more frames than the fault-free one."""
+    schedule = fig17_result.schedule
+
+    def measure():
+        baseline = simulate(schedule).delivered_frame_count
+        rows = []
+        for victim in ("P1", "P2", "P3"):
+            transient = simulate(
+                schedule, FailureScenario.crash(victim, at=3.0)
+            )
+            steady = simulate(
+                schedule, FailureScenario.dead_from_start(victim, known=True)
+            )
+            rows.append(
+                (victim, transient.delivered_frame_count,
+                 steady.delivered_frame_count)
+            )
+        return baseline, rows
+
+    baseline, rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        headers=("victim", "transient frames", "steady frames",
+                 "fault-free frames"),
+        title="X5c - delivered frames under failure (Solution 1)",
+    )
+    for victim, transient_frames, steady_frames in rows:
+        table.add(victim, transient_frames, steady_frames, baseline)
+        assert transient_frames <= baseline
+        assert steady_frames <= baseline
+    emit(table)
+
+
+def test_solution2_sends_more(benchmark, fig17_result, fig22_result):
+    """X5d: the communication-overhead contrast between the solutions
+    (Section 7.1: 'the communication overhead is greater')."""
+
+    def measure():
+        return (
+            message_counts(fig17_result.schedule)["frames"],
+            message_counts(fig22_result.schedule)["frames"],
+        )
+
+    s1_frames, s2_frames = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"X5d - static frames: Solution 1 (bus) {s1_frames} vs "
+        f"Solution 2 (p2p) {s2_frames}"
+    )
+    assert s2_frames > s1_frames

@@ -1,0 +1,137 @@
+"""Experiment X2 (Section 5.6 criterion 2): robustness to several
+failures within the same iteration.
+
+The paper states that Solution 1 does not support failures arriving in
+a row well (the pending timeouts accumulate), while Solution 2 does
+(no timeouts at all).  This bench quantifies both claims on a K=2
+workload:
+
+* both tolerate any double crash (they are certified for K=2);
+* Solution 1's response degrades with each extra failure (the timeout
+  ladders cascade), visibly more than Solution 2's.
+"""
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.solution1 import schedule_solution1
+from repro.core.solution2 import schedule_solution2
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import FailureScenario, simulate
+
+from conftest import emit
+
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def k2_bus_schedule():
+    problem = random_bus_problem(operations=10, processors=4, failures=2, seed=SEED)
+    return schedule_solution1(problem).schedule
+
+
+@pytest.fixture(scope="module")
+def k2_p2p_schedule():
+    problem = random_p2p_problem(operations=10, processors=4, failures=2, seed=SEED)
+    return schedule_solution2(problem).schedule
+
+
+def crash_responses(schedule, n_failures, at=0.5):
+    procs = schedule.problem.architecture.processor_names
+    responses = []
+    for victims in itertools.combinations(procs, n_failures):
+        trace = simulate(schedule, FailureScenario.simultaneous(victims, at=at))
+        assert trace.completed, victims
+        responses.append(trace.response_time)
+    return responses
+
+
+def test_double_crash_survival(benchmark, k2_bus_schedule, k2_p2p_schedule):
+    """X2a: all double crashes survive on both K=2 schedules."""
+
+    def measure():
+        return (
+            crash_responses(k2_bus_schedule, 2),
+            crash_responses(k2_p2p_schedule, 2),
+        )
+
+    bus_responses, p2p_responses = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit(
+        f"X2a - all {len(bus_responses)} double-crash patterns survive on "
+        f"both K=2 schedules (bus/Solution-1 and p2p/Solution-2)"
+    )
+
+
+def test_response_degradation_per_failure_count(
+    benchmark, k2_bus_schedule, k2_p2p_schedule
+):
+    """X2b: response time vs number of simultaneous failures."""
+
+    def measure():
+        rows = {}
+        for name, schedule in (
+            ("solution1/bus", k2_bus_schedule),
+            ("solution2/p2p", k2_p2p_schedule),
+        ):
+            healthy = simulate(schedule).response_time
+            rows[name] = [healthy] + [
+                statistics.mean(crash_responses(schedule, n)) for n in (1, 2)
+            ]
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        headers=("method", "0 failures", "1 failure", "2 failures"),
+        title="X2b - mean response time vs simultaneous failures (K=2)",
+    )
+    for name, values in rows.items():
+        table.add(name, *(round(v, 3) for v in values))
+    emit(table)
+
+    s1 = rows["solution1/bus"]
+    s2 = rows["solution2/p2p"]
+    # Responses are monotone in the number of failures.
+    assert s1[0] <= s1[1] <= s1[2] + 1e-9
+    # Solution 1 pays detection time; Solution 2's *relative*
+    # degradation at 2 failures stays below Solution 1's (the paper's
+    # timeout-accumulation argument).
+    degradation1 = s1[2] / s1[0]
+    degradation2 = s2[2] / s2[0]
+    emit(
+        f"X2b - relative degradation after 2 failures: "
+        f"solution1 x{degradation1:.2f}, solution2 x{degradation2:.2f}"
+    )
+    assert degradation1 >= degradation2 - 0.25
+
+
+def test_timeout_accumulation_visible(benchmark, k2_bus_schedule):
+    """X2c: with both earlier candidates dead, the last backup's
+    take-over date reflects the accumulated ladder (Section 6.6)."""
+    procs = k2_bus_schedule.problem.architecture.processor_names
+
+    def worst_double():
+        worst = None
+        for victims in itertools.combinations(procs, 2):
+            trace = simulate(
+                k2_bus_schedule, FailureScenario.simultaneous(victims, at=0.0)
+            )
+            if worst is None or trace.response_time > worst[1]:
+                worst = (victims, trace.response_time, trace)
+        return worst
+
+    victims, response, trace = benchmark.pedantic(
+        worst_double, rounds=1, iterations=1
+    )
+    healthy = simulate(k2_bus_schedule).response_time
+    emit(
+        f"X2c - worst double crash {victims}: response {response:g} vs "
+        f"failure-free {healthy:g} "
+        f"({len(trace.detections)} detections, "
+        f"{len(trace.takeover_frames())} take-over frames)"
+    )
+    assert response >= healthy

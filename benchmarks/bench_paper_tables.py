@@ -1,0 +1,87 @@
+"""Experiments T1, T2, F7, F8, F13, F21: the paper's input artifacts.
+
+These benches rebuild and verify the paper's two constraint tables and
+three graph figures, timing the construction path (graph building +
+feasibility analysis) — the front end every other experiment runs
+through.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.paper import examples, expected
+
+from conftest import emit
+
+
+def test_table_exec_times(benchmark):
+    """T1: the (operation x processor) execution-duration table."""
+    table = benchmark(examples.paper_execution_table)
+    report = Table(
+        headers=("op", "P1", "P2", "P3"),
+        title="T1 - execution durations (time units); paper Section 6.5",
+    )
+    for op in ("I", "A", "B", "C", "D", "E", "O"):
+        report.add(op, *(table.duration(op, p) for p in ("P1", "P2", "P3")))
+    emit(report)
+    assert table.duration("B", "P2") == 1.5
+    assert math.isinf(table.duration("O", "P3"))
+
+
+def test_table_comm_times(benchmark):
+    """T2: the (dependency x link) communication-duration table."""
+    arch = examples.figure13_bus_architecture()
+    table = benchmark(examples.paper_communication_table, arch)
+    report = Table(
+        headers=("dependency", "duration"),
+        title="T2 - communication durations (identical on every link)",
+    )
+    for dep, duration in examples.COMMUNICATION_DURATIONS.items():
+        report.add(f"{dep[0]}->{dep[1]}", duration)
+        assert table.duration(dep, "bus") == duration
+    emit(report)
+
+
+def test_fig7_algorithm_graph(benchmark):
+    """F7/F13a: the running-example data-flow graph."""
+    graph = benchmark(examples.paper_algorithm)
+    assert len(graph) == expected.OPERATION_COUNT
+    assert len(graph.dependencies) == expected.DEPENDENCY_COUNT
+    assert graph.inputs == ["I"] and graph.outputs == ["O"]
+    emit(
+        f"F7 - algorithm graph: {len(graph)} operations, "
+        f"{len(graph.dependencies)} dependencies "
+        f"(I -> A -> {{B,C,D}} -> E -> O)"
+    )
+
+
+def test_fig8_architecture(benchmark):
+    """F8: 3 processors, 2 point-to-point links, routing via P2."""
+    arch = benchmark(examples.figure8_architecture)
+    problem = examples.figure8_problem()
+    route = problem.routing.route("P1", "P3")
+    assert route.processors == ("P1", "P2", "P3")
+    emit(f"F8 - architecture: {arch!r}; P1->P3 route: {route}")
+
+
+def test_fig13_bus_architecture(benchmark):
+    """F13b: the single-bus architecture of the first example."""
+    arch = benchmark(examples.figure13_bus_architecture)
+    assert arch.is_single_bus
+    emit(f"F13b - architecture: {arch!r} (single multi-point link)")
+
+
+def test_fig21_p2p_architecture(benchmark):
+    """F21b: the fully connected architecture of the second example."""
+    arch = benchmark(examples.figure21_p2p_architecture)
+    assert len(arch.links) == 3 and not arch.has_bus
+    emit(f"F21b - architecture: {arch!r} (L1.2, L1.3, L2.3)")
+
+
+def test_problem_feasibility_analysis(benchmark):
+    """The K=1 feasibility check both examples must pass."""
+    problem = examples.first_example_problem(failures=1)
+    benchmark(problem.check)
+    emit("feasibility: first example OK for K=1 (I and O have 2 hosts)")

@@ -1,0 +1,92 @@
+"""Experiment A5: does the tooling scale like the paper needs it to?
+
+The paper's domain is modest — "typically less than 10 processors"
+(Section 1.3) and algorithm graphs of tens of operations — but the
+heuristics run inside an interactive tool, so their wall-clock
+behaviour matters.  This bench measures, with pytest-benchmark's
+actual timers:
+
+* heuristic runtime vs problem size (operations x processors), for
+  all three schedulers;
+* exhaustive K-fault certification cost vs K (it enumerates
+  ``sum C(n, k)`` patterns);
+* one simulated iteration vs problem size.
+
+Assertions are kept to sanity levels (everything comfortably
+sub-second at paper scale); the numbers themselves are the result.
+"""
+
+import pytest
+
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.core.validate import certify_fault_tolerance
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import simulate
+
+from conftest import emit
+
+SMALL = dict(operations=10, processors=3, failures=1, seed=1)
+MEDIUM = dict(operations=30, processors=6, failures=1, seed=1)
+LARGE = dict(operations=60, processors=8, failures=2, seed=1)
+
+
+@pytest.mark.parametrize(
+    "size_name, params",
+    [("small", SMALL), ("medium", MEDIUM), ("large", LARGE)],
+)
+def test_solution1_runtime(benchmark, size_name, params):
+    problem = random_bus_problem(**params)
+    result = benchmark(lambda: Solution1Scheduler(problem).run())
+    emit(
+        f"A5 - solution1 on {size_name} "
+        f"({params['operations']} ops x {params['processors']} procs): "
+        f"makespan {result.makespan:.2f}"
+    )
+    assert result.makespan > 0
+
+
+@pytest.mark.parametrize(
+    "size_name, params",
+    [("small", SMALL), ("medium", MEDIUM), ("large", LARGE)],
+)
+def test_solution2_runtime(benchmark, size_name, params):
+    problem = random_p2p_problem(**params)
+    result = benchmark(lambda: Solution2Scheduler(problem).run())
+    assert result.makespan > 0
+
+
+@pytest.mark.parametrize(
+    "size_name, params",
+    [("small", SMALL), ("medium", MEDIUM), ("large", LARGE)],
+)
+def test_baseline_runtime(benchmark, size_name, params):
+    problem = random_bus_problem(**params)
+    result = benchmark(lambda: SyndexScheduler(problem).run())
+    assert result.makespan > 0
+
+
+@pytest.mark.parametrize("failures", [1, 2, 3])
+def test_certification_cost(benchmark, failures):
+    problem = random_bus_problem(
+        operations=20, processors=failures + 2, failures=failures, seed=2
+    )
+    schedule = Solution1Scheduler(problem).run().schedule
+    report = benchmark(lambda: certify_fault_tolerance(schedule))
+    emit(
+        f"A5 - certification K={failures} on "
+        f"{failures + 2} processors: {len(report.outcomes)} patterns, "
+        f"ok={report.ok}"
+    )
+    assert report.ok
+
+
+@pytest.mark.parametrize(
+    "size_name, params", [("small", SMALL), ("large", LARGE)]
+)
+def test_simulation_runtime(benchmark, size_name, params):
+    problem = random_bus_problem(**params)
+    schedule = Solution1Scheduler(problem).run().schedule
+    trace = benchmark(lambda: simulate(schedule))
+    assert trace.completed

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Design-space exploration: which solution fits which architecture?
+
+The paper's Section 5.6 evaluates the two heuristics on four criteria;
+this example turns that comparison into the kind of sweep a system
+designer would run before picking a topology:
+
+* for a family of random control workloads, compare Solution 1 and
+  Solution 2 on a bus and on a fully connected architecture;
+* for each combination report the fault-free makespan, the
+  fault-tolerance overhead vs the plain SynDEx baseline, the static
+  frame count, and the worst transient response under a single crash;
+* sweep the communication-to-computation ratio to show where the bus
+  saturates.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+import statistics
+
+from repro.analysis.metrics import message_counts
+from repro.analysis.report import Table
+from repro.core.list_scheduler import best_over_seeds
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import FailureScenario, simulate
+
+SEEDS = range(4)
+ATTEMPTS = 8
+METHODS = {
+    "solution1": Solution1Scheduler,
+    "solution2": Solution2Scheduler,
+}
+FACTORIES = {
+    "bus": random_bus_problem,
+    "p2p": random_p2p_problem,
+}
+
+
+def worst_transient(schedule) -> float:
+    """Worst single-crash transient response of a schedule."""
+    worst = simulate(schedule).response_time
+    for victim in schedule.problem.architecture.processor_names:
+        trace = simulate(schedule, FailureScenario.crash(victim, at=1.0))
+        if trace.completed:
+            worst = max(worst, trace.response_time)
+    return worst
+
+
+def sweep_architectures() -> None:
+    table = Table(
+        headers=(
+            "architecture", "method", "mean makespan", "mean overhead",
+            "mean frames", "worst transient",
+        ),
+        title="architecture/method matrix (12 ops, 4 procs, K=1, "
+              "mean over 4 workloads)",
+    )
+    for arch_name, factory in FACTORIES.items():
+        for method_name, scheduler_class in METHODS.items():
+            makespans, overheads, frames, transients = [], [], [], []
+            for seed in SEEDS:
+                problem = factory(
+                    operations=12, processors=4, failures=1, seed=seed,
+                    comm_over_comp=0.8,
+                )
+                base = best_over_seeds(SyndexScheduler, problem, ATTEMPTS)
+                ft = best_over_seeds(scheduler_class, problem, ATTEMPTS)
+                makespans.append(ft.makespan)
+                overheads.append(ft.makespan - base.makespan)
+                frames.append(message_counts(ft.schedule)["frames"])
+                transients.append(worst_transient(ft.schedule))
+            table.add(
+                arch_name,
+                method_name,
+                round(statistics.mean(makespans), 3),
+                round(statistics.mean(overheads), 3),
+                round(statistics.mean(frames), 1),
+                round(statistics.mean(transients), 3),
+            )
+    print(table)
+    print()
+
+
+def sweep_comm_ratio() -> None:
+    table = Table(
+        headers=("comm/comp", "sol1 on bus", "sol2 on bus", "sol2 on p2p"),
+        title="mean fault-tolerant makespan vs communication weight",
+    )
+    for ratio in (0.2, 0.5, 1.0, 2.0):
+        cells = []
+        for factory, scheduler_class in (
+            (random_bus_problem, Solution1Scheduler),
+            (random_bus_problem, Solution2Scheduler),
+            (random_p2p_problem, Solution2Scheduler),
+        ):
+            values = []
+            for seed in SEEDS:
+                problem = factory(
+                    operations=12, processors=4, failures=1, seed=seed,
+                    comm_over_comp=ratio,
+                )
+                values.append(
+                    best_over_seeds(scheduler_class, problem, ATTEMPTS).makespan
+                )
+            cells.append(round(statistics.mean(values), 3))
+        table.add(ratio, *cells)
+    print(table)
+    print()
+    print(
+        "reading: as communication weight grows, Solution 2 on the bus "
+        "degrades fastest (its replicated comms serialize on the single "
+        "medium), which is the paper's architecture-appropriateness "
+        "argument in sweep form."
+    )
+
+
+def main() -> None:
+    sweep_architectures()
+    sweep_comm_ratio()
+
+
+if __name__ == "__main__":
+    main()

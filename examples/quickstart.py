@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's running example from scratch and
+schedule it with all three heuristics.
+
+This walks the whole public API surface:
+
+1. describe the *algorithm* as a data-flow graph (Figure 7);
+2. describe the *architecture* (three processors on a CAN-like bus,
+   Figure 13(b));
+3. give the *distribution constraints* (worst-case execution and
+   transmission durations, the tables of Section 6.5);
+4. run the plain SynDEx baseline and the two fault-tolerant
+   heuristics, compare makespans and overheads;
+5. validate + certify the fault-tolerant schedule and simulate a
+   processor crash.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlgorithmGraph,
+    CommunicationTable,
+    ExecutionTable,
+    INFINITY,
+    Problem,
+    bus_architecture,
+    schedule_baseline,
+    schedule_solution1,
+    schedule_solution2,
+)
+from repro.analysis import overhead, render_schedule, render_trace
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.sim import FailureScenario, simulate
+
+
+def build_problem() -> Problem:
+    """The paper's first example: 7 operations, 3 processors, 1 bus."""
+    # 1. The algorithm: a sensor-to-actuator data-flow graph.
+    algorithm = AlgorithmGraph("paper-example")
+    algorithm.add_input("I")  # sensor handling (extio)
+    for comp in ("A", "B", "C", "D", "E"):
+        algorithm.add_comp(comp)  # pure computations
+    algorithm.add_output("O")  # actuator handling (extio)
+    for src, dst in (
+        ("I", "A"),
+        ("A", "B"), ("A", "C"), ("A", "D"),
+        ("B", "E"), ("C", "E"), ("D", "E"),
+        ("E", "O"),
+    ):
+        algorithm.add_dependency(src, dst)
+
+    # 2. The architecture: P1, P2, P3 sharing one multi-point link.
+    architecture = bus_architecture(("P1", "P2", "P3"), bus_name="bus")
+
+    # 3. The distribution constraints.  INFINITY pins the extios to the
+    #    processors that control the sensor/actuator (P3 controls
+    #    neither).
+    execution = ExecutionTable.from_rows(
+        {
+            "I": {"P1": 1.0, "P2": 1.0, "P3": INFINITY},
+            "A": {"P1": 2.0, "P2": 2.0, "P3": 2.0},
+            "B": {"P1": 3.0, "P2": 1.5, "P3": 1.5},
+            "C": {"P1": 2.0, "P2": 3.0, "P3": 1.0},
+            "D": {"P1": 3.0, "P2": 1.0, "P3": 1.0},
+            "E": {"P1": 1.0, "P2": 1.0, "P3": 1.0},
+            "O": {"P1": 1.5, "P2": 1.5, "P3": INFINITY},
+        }
+    )
+    communication = CommunicationTable.uniform_per_dependency(
+        {
+            ("I", "A"): 1.25,
+            ("A", "B"): 0.5, ("A", "C"): 0.5, ("A", "D"): 1.0,
+            ("B", "E"): 0.5, ("C", "E"): 0.6, ("D", "E"): 0.8,
+            ("E", "O"): 1.0,
+        },
+        architecture.link_names,
+    )
+
+    # K = 1: tolerate one permanent fail-stop processor failure.
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=execution,
+        communication=communication,
+        failures=1,
+        name="quickstart",
+    )
+
+
+def main() -> None:
+    problem = build_problem()
+    problem.check()
+    print(f"problem: {problem!r}")
+    print()
+
+    # 4. Schedule with the three heuristics.  The heuristics break
+    #    cost ties randomly (like the paper's); exploring a few seeds
+    #    and keeping the best makespan is how the tool is used.
+    from repro.core.list_scheduler import best_over_seeds
+    from repro.core.syndex import SyndexScheduler
+
+    baseline = best_over_seeds(SyndexScheduler, problem, attempts=32)
+    solution1 = schedule_solution1(problem)
+    solution2 = schedule_solution2(problem)
+
+    print("makespans:")
+    print(f"  baseline (no fault tolerance) : {baseline.makespan:g}")
+    print(f"  solution 1 (bus oriented)     : {solution1.makespan:g}")
+    print(f"  solution 2 (p2p oriented)     : {solution2.makespan:g}")
+    print(f"  solution-1 {overhead(baseline.schedule, solution1.schedule)}")
+    print()
+
+    print(render_schedule(solution1.schedule))
+    print()
+
+    # 5. Validate, certify, and crash a processor.
+    validate_schedule(solution1.schedule).raise_if_invalid()
+    certify_fault_tolerance(solution1.schedule).raise_if_invalid()
+    print("solution-1 schedule is valid and certified 1-fault-tolerant")
+    print()
+
+    trace = simulate(solution1.schedule, FailureScenario.crash("P2", at=3.0))
+    print(render_trace(trace))
+    print()
+    print(
+        f"after P2's crash the iteration still completes, response "
+        f"time {trace.response_time:g} "
+        f"(vs {simulate(solution1.schedule).response_time:g} failure-free)"
+    )
+
+    broken = simulate(baseline.schedule, FailureScenario.crash("P2", at=3.0))
+    print(
+        f"the baseline under the same crash: completed={broken.completed} "
+        f"(this is why the fault-tolerant schedule exists)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments
+lacking the ``wheel`` package (pip then uses the legacy
+``setup.py develop`` code path instead of a PEP 660 build).  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Metrics, timing diagrams, and paper-vs-measured reporting."""
+
+from .advisor import Advice, advise
+from .bounds import (
+    critical_path_bound,
+    load_bound,
+    makespan_lower_bound,
+    pinned_interface_bound,
+)
+from .experiments import (
+    CellResult,
+    ExperimentGrid,
+    aggregate,
+    results_to_csv,
+    run_grid,
+)
+from .gantt import render_comparison, render_schedule, render_trace
+from .metrics import (
+    OverheadReport,
+    link_loads,
+    message_counts,
+    overhead,
+    processor_loads,
+    replication_summary,
+    transient_penalty,
+)
+from .periodic import (
+    can_sustain,
+    degraded_min_period,
+    min_period,
+    unit_busy_times,
+    worst_degraded_min_period,
+)
+from .report import ComparisonRow, Table, comparison_table, format_value
+from .svg import schedule_to_svg, trace_to_svg
+from .trace_stats import (
+    DetectionStats,
+    detection_stats,
+    redundant_delivery_ratio,
+    takeover_lag,
+    utilization,
+)
+
+__all__ = [
+    "Advice",
+    "advise",
+    "critical_path_bound",
+    "load_bound",
+    "makespan_lower_bound",
+    "pinned_interface_bound",
+    "CellResult",
+    "ExperimentGrid",
+    "aggregate",
+    "results_to_csv",
+    "run_grid",
+    "render_comparison",
+    "render_schedule",
+    "render_trace",
+    "OverheadReport",
+    "link_loads",
+    "message_counts",
+    "overhead",
+    "processor_loads",
+    "replication_summary",
+    "transient_penalty",
+    "can_sustain",
+    "degraded_min_period",
+    "min_period",
+    "unit_busy_times",
+    "worst_degraded_min_period",
+    "ComparisonRow",
+    "Table",
+    "comparison_table",
+    "format_value",
+    "schedule_to_svg",
+    "trace_to_svg",
+    "DetectionStats",
+    "detection_stats",
+    "redundant_delivery_ratio",
+    "takeover_lag",
+    "utilization",
+]

@@ -1,0 +1,187 @@
+"""Design advisor: the paper's Section 5.6 evaluation, automated.
+
+Given a problem, :func:`advise` runs the complete decision workflow a
+system designer would follow:
+
+1. feasibility diagnosis (including articulation-point warnings for
+   the architecture);
+2. the paper's architecture-appropriateness rule — Solution 1 for
+   multi-point (bus) networks, Solution 2 for point-to-point ones —
+   *checked against measurement*: both heuristics are actually run
+   (best-of-seeds) and the faster one recommended;
+3. makespan lower bounds to judge how much room is left;
+4. exhaustive K-fault certification of the recommended schedule;
+5. deadline verdicts for every produced schedule.
+
+The result is a plain :class:`Advice` record plus a printable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.list_scheduler import ScheduleResult, best_over_seeds
+from ..core.solution1 import Solution1Scheduler
+from ..core.solution2 import Solution2Scheduler
+from ..core.syndex import SyndexScheduler
+from ..core.validate import certify_fault_tolerance
+from ..graphs.problem import InfeasibleProblemError, Problem
+from .bounds import makespan_lower_bound
+from .metrics import message_counts
+from .report import Table
+
+__all__ = ["Advice", "advise"]
+
+
+@dataclass
+class Advice:
+    """The advisor's findings."""
+
+    problem_name: str
+    feasible: bool
+    diagnosis: str
+    architecture_kind: str
+    cut_processors: List[str]
+    paper_recommendation: str
+    measured_recommendation: str
+    baseline: Optional[ScheduleResult]
+    candidates: Dict[str, ScheduleResult]
+    lower_bound: float
+    replicated_lower_bound: float
+    certified: bool
+    deadline_verdicts: Dict[str, bool]
+
+    @property
+    def recommendation(self) -> str:
+        """The method to use (measured winner)."""
+        return self.measured_recommendation
+
+    @property
+    def recommended_result(self) -> Optional[ScheduleResult]:
+        return self.candidates.get(self.measured_recommendation)
+
+    @property
+    def agreement(self) -> bool:
+        """True when measurement confirms the paper's rule of thumb."""
+        return self.paper_recommendation == self.measured_recommendation
+
+    def render(self) -> str:
+        """A human-readable report."""
+        lines = [f"advice for {self.problem_name!r}"]
+        if not self.feasible:
+            lines.append(f"  INFEASIBLE: {self.diagnosis}")
+            return "\n".join(lines)
+        lines.append(f"  architecture kind      : {self.architecture_kind}")
+        if self.cut_processors:
+            lines.append(
+                f"  WARNING: articulation point(s) "
+                f"{', '.join(self.cut_processors)} — their failure "
+                f"partitions the network; certification below is the "
+                f"authoritative verdict"
+            )
+        lines.append(
+            f"  paper's rule of thumb  : {self.paper_recommendation}"
+        )
+        lines.append(
+            f"  measured recommendation: {self.measured_recommendation}"
+            + ("" if self.agreement else "  (disagrees with the rule!)")
+        )
+        table = Table(
+            headers=("method", "makespan", "frames", "meets deadline")
+        )
+        if self.baseline is not None:
+            table.add(
+                "baseline",
+                round(self.baseline.makespan, 4),
+                message_counts(self.baseline.schedule)["frames"],
+                self.deadline_verdicts.get("baseline"),
+            )
+        for name, result in self.candidates.items():
+            table.add(
+                name,
+                round(result.makespan, 4),
+                message_counts(result.schedule)["frames"],
+                self.deadline_verdicts.get(name),
+            )
+        lines.append("  " + table.render().replace("\n", "\n  "))
+        lines.append(
+            f"  lower bounds           : {self.lower_bound:g} "
+            f"(unreplicated) / {self.replicated_lower_bound:g} (replicated)"
+        )
+        lines.append(
+            f"  K-fault certification  : "
+            f"{'PASS' if self.certified else 'FAIL'} for the recommended "
+            f"schedule"
+        )
+        return "\n".join(lines)
+
+
+def advise(problem: Problem, attempts: int = 16) -> Advice:
+    """Run the full decision workflow on ``problem``."""
+    try:
+        problem.check()
+    except (InfeasibleProblemError, ValueError) as exc:
+        return Advice(
+            problem_name=problem.name,
+            feasible=False,
+            diagnosis=str(exc),
+            architecture_kind="",
+            cut_processors=[],
+            paper_recommendation="",
+            measured_recommendation="",
+            baseline=None,
+            candidates={},
+            lower_bound=0.0,
+            replicated_lower_bound=0.0,
+            certified=False,
+            deadline_verdicts={},
+        )
+
+    architecture = problem.architecture
+    if architecture.is_single_bus:
+        kind = "single bus"
+    elif architecture.has_bus:
+        kind = "mixed (bus + point-to-point)"
+    else:
+        kind = "point-to-point"
+    paper_pick = "solution1" if architecture.has_bus else "solution2"
+
+    baseline = best_over_seeds(SyndexScheduler, problem, attempts=attempts)
+    candidates = {
+        "solution1": best_over_seeds(
+            Solution1Scheduler, problem, attempts=attempts
+        ),
+        "solution2": best_over_seeds(
+            Solution2Scheduler, problem, attempts=attempts
+        ),
+    }
+    measured_pick = min(
+        candidates, key=lambda name: (candidates[name].makespan, name)
+    )
+
+    deadline_verdicts: Dict[str, bool] = {}
+    if problem.deadline is not None:
+        deadline_verdicts["baseline"] = baseline.schedule.meets_deadline()
+        for name, result in candidates.items():
+            deadline_verdicts[name] = result.schedule.meets_deadline()
+
+    certification = certify_fault_tolerance(
+        candidates[measured_pick].schedule
+    )
+
+    return Advice(
+        problem_name=problem.name,
+        feasible=True,
+        diagnosis="ok",
+        architecture_kind=kind,
+        cut_processors=architecture.cut_processors(),
+        paper_recommendation=paper_pick,
+        measured_recommendation=measured_pick,
+        baseline=baseline,
+        candidates=candidates,
+        lower_bound=makespan_lower_bound(problem),
+        replicated_lower_bound=makespan_lower_bound(problem, replicated=True),
+        certified=certification.ok,
+        deadline_verdicts=deadline_verdicts,
+    )

@@ -1,0 +1,107 @@
+"""Makespan lower bounds — how good can any schedule be?
+
+The adequation problem is NP-complete (Section 4.4), so the paper's
+heuristics are evaluated empirically.  These classical bounds put the
+measured makespans in perspective:
+
+* the **critical-path bound**: even with infinite processors and free
+  communication, the longest chain of the DAG (using each operation's
+  *fastest* processor) must execute sequentially;
+* the **load bound**: the total work (each operation counted at its
+  fastest, replicated ``K + 1`` times using the K+1 smallest durations
+  for fault-tolerant schedules) shared by all processors;
+* the **pinned-interface bound**: operations restricted to a subset of
+  processors (the extios) bound the makespan by the load of their own
+  little cluster.
+
+``makespan_lower_bound`` is the max of the three; every valid schedule
+of the problem (fault-tolerant or not, any heuristic, any tie-break)
+has ``makespan >= bound``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..graphs.problem import Problem
+
+__all__ = [
+    "critical_path_bound",
+    "load_bound",
+    "pinned_interface_bound",
+    "makespan_lower_bound",
+]
+
+
+def _fastest(problem: Problem, op: str) -> float:
+    durations = problem.execution.finite_durations(
+        op, problem.architecture.processor_names
+    )
+    return min(durations)
+
+
+def _k_smallest_sum(problem: Problem, op: str, count: int) -> float:
+    durations = sorted(
+        problem.execution.finite_durations(
+            op, problem.architecture.processor_names
+        )
+    )
+    return sum(durations[:count])
+
+
+def critical_path_bound(problem: Problem) -> float:
+    """Longest dependency chain at fastest-processor speeds.
+
+    Communication is assumed free (any positive comm time only makes
+    real schedules longer), so this is a valid bound for replicated
+    schedules too — some replica chain must still run end to end.
+    """
+    weights = {
+        op: _fastest(problem, op) for op in problem.algorithm.operation_names
+    }
+    return problem.algorithm.longest_path_length(weights)
+
+
+def load_bound(problem: Problem, replicated: bool = False) -> float:
+    """Total work divided by the number of processors.
+
+    With ``replicated`` the work counts ``K + 1`` copies of every
+    operation, each at the cheapest still-unused processor (the K+1
+    smallest durations): the floor for Solution-1/2 schedules.
+    """
+    degree = problem.replication_degree if replicated else 1
+    total = sum(
+        _k_smallest_sum(problem, op, degree)
+        for op in problem.algorithm.operation_names
+    )
+    return total / len(problem.architecture)
+
+
+def pinned_interface_bound(problem: Problem, replicated: bool = False) -> float:
+    """Load bound restricted to each capability class.
+
+    Operations executable only on a processor subset S (extios,
+    typically) must share S: their (possibly replicated) work divided
+    by ``|S|`` bounds the makespan.  Evaluated per distinct subset.
+    """
+    degree = problem.replication_degree if replicated else 1
+    by_subset: Dict[frozenset, float] = {}
+    for op in problem.algorithm.operation_names:
+        allowed = frozenset(problem.allowed_processors(op))
+        by_subset.setdefault(allowed, 0.0)
+        by_subset[allowed] += _k_smallest_sum(
+            problem, op, min(degree, len(allowed))
+        )
+    best = 0.0
+    for subset, work in by_subset.items():
+        best = max(best, work / len(subset))
+    return best
+
+
+def makespan_lower_bound(problem: Problem, replicated: bool = False) -> float:
+    """The max of all bounds: no valid schedule can beat it."""
+    return max(
+        critical_path_bound(problem),
+        load_bound(problem, replicated),
+        pinned_interface_bound(problem, replicated),
+    )

@@ -1,0 +1,160 @@
+"""A small experiment-grid runner for sweeps and comparisons.
+
+The benchmarks and the design-space example all follow the same
+pattern: build a grid of problem configurations, run one or more
+schedulers on each cell (optionally exploring tie-break seeds),
+simulate failure scenarios, and aggregate a few metrics.  This module
+factors that pattern into a reusable, dependency-free harness:
+
+* :class:`ExperimentGrid` — the cartesian product of named parameter
+  axes;
+* :func:`run_grid` — apply a runner to every cell, collecting
+  :class:`CellResult` records;
+* :func:`aggregate` — group records by axes and reduce a metric
+  (mean/min/max);
+* :func:`results_to_csv` — flat export for external plotting.
+
+Example::
+
+    grid = ExperimentGrid({"seed": range(4), "failures": [0, 1, 2]})
+
+    def runner(cell):
+        problem = random_bus_problem(seed=cell["seed"],
+                                     failures=cell["failures"])
+        result = best_over_seeds(Solution1Scheduler, problem, 8)
+        return {"makespan": result.makespan}
+
+    records = run_grid(grid, runner)
+    by_k = aggregate(records, group_by=("failures",), metric="makespan")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "ExperimentGrid",
+    "CellResult",
+    "run_grid",
+    "aggregate",
+    "results_to_csv",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """Named parameter axes; iteration yields every combination."""
+
+    axes: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("grid needs at least one axis")
+        for name, values in self.axes.items():
+            if not list(values):
+                raise ValueError(f"axis {name!r} is empty")
+
+    def __iter__(self):
+        names = list(self.axes)
+        for combination in itertools.product(
+            *(list(self.axes[name]) for name in names)
+        ):
+            yield dict(zip(names, combination))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(list(values))
+        return total
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One grid cell's parameters and measured metrics."""
+
+    params: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+    def value(self, metric: str) -> float:
+        try:
+            return self.metrics[metric]
+        except KeyError:
+            raise KeyError(
+                f"metric {metric!r} not in {sorted(self.metrics)}"
+            ) from None
+
+
+def run_grid(
+    grid: ExperimentGrid,
+    runner: Callable[[Dict[str, Any]], Mapping[str, float]],
+    on_cell: Callable[[CellResult], None] = None,
+) -> List[CellResult]:
+    """Run ``runner`` on every cell; collect the metric records.
+
+    ``runner`` receives the cell's parameter dict and returns a metric
+    mapping.  ``on_cell`` (optional) is invoked after each cell — handy
+    for progress reporting.
+    """
+    records = []
+    for params in grid:
+        metrics = dict(runner(dict(params)))
+        record = CellResult(params=dict(params), metrics=metrics)
+        records.append(record)
+        if on_cell is not None:
+            on_cell(record)
+    return records
+
+
+_REDUCERS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": statistics.mean,
+    "min": min,
+    "max": max,
+    "median": statistics.median,
+    "sum": sum,
+}
+
+
+def aggregate(
+    records: Iterable[CellResult],
+    group_by: Sequence[str],
+    metric: str,
+    reducer: str = "mean",
+) -> Dict[Tuple[Any, ...], float]:
+    """Group records by ``group_by`` axes and reduce ``metric``.
+
+    Returns ``{(axis values...): reduced value}`` with deterministic
+    key ordering following ``group_by``.
+    """
+    if reducer not in _REDUCERS:
+        raise ValueError(
+            f"unknown reducer {reducer!r}; pick from {sorted(_REDUCERS)}"
+        )
+    buckets: Dict[Tuple[Any, ...], List[float]] = {}
+    for record in records:
+        key = tuple(record.params[axis] for axis in group_by)
+        buckets.setdefault(key, []).append(record.value(metric))
+    reduce_fn = _REDUCERS[reducer]
+    return {key: reduce_fn(values) for key, values in sorted(buckets.items())}
+
+
+def results_to_csv(records: Iterable[CellResult]) -> str:
+    """Flat CSV export (one row per cell; params then metrics)."""
+    records = list(records)
+    if not records:
+        return ""
+    param_names = sorted({name for r in records for name in r.params})
+    metric_names = sorted({name for r in records for name in r.metrics})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(param_names + metric_names)
+    for record in records:
+        writer.writerow(
+            [record.params.get(name, "") for name in param_names]
+            + [record.metrics.get(name, "") for name in metric_names]
+        )
+    return buffer.getvalue()

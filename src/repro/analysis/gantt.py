@@ -1,0 +1,150 @@
+"""ASCII timing diagrams — the textual equivalent of Figures 14-24.
+
+The paper draws schedules as one column per processor (white boxes,
+height proportional to execution time; the main replica drawn thicker)
+plus one column per communication link (gray boxes).  Terminal output
+renders the transpose: one *row* per unit, time flowing rightwards,
+with a configurable time-units-per-character resolution.
+
+Two renderers are provided:
+
+* :func:`render_schedule` — a static schedule (replicas + comm slots);
+* :func:`render_trace` — a simulated iteration (actual executions,
+  frames, take-overs marked ``*``, aborted work marked ``!``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import Schedule
+from ..sim.trace import IterationTrace
+
+__all__ = ["render_schedule", "render_trace", "render_comparison"]
+
+
+def _scale(makespan: float, width: int) -> float:
+    """Time units per character column."""
+    if makespan <= 0:
+        return 1.0
+    return makespan / width
+
+
+def _paint(
+    canvas: List[str], start: float, end: float, scale: float, label: str
+) -> None:
+    """Write one activity box onto a row of character cells."""
+    first = int(round(start / scale))
+    last = max(first + 1, int(round(end / scale)))
+    width = last - first
+    text = label[:width].ljust(width, "=") if width >= 2 else "=" * width
+    while len(canvas) < last:
+        canvas.append(" ")
+    for offset, char in enumerate(text):
+        position = first + offset
+        canvas[position] = char
+
+
+def _axis(makespan: float, scale: float, indent: int) -> str:
+    """A time axis row with integer tick marks."""
+    columns = int(math.ceil(makespan / scale)) + 1
+    cells = [" "] * columns
+    tick = 0
+    while tick <= makespan + 1e-9:
+        position = int(round(tick / scale))
+        text = f"{tick:g}"
+        if position + len(text) <= columns:
+            for offset, char in enumerate(text):
+                cells[position + offset] = char
+        tick += max(1, int(round(scale * 10))) if scale > 0.5 else 1
+    return " " * indent + "".join(cells)
+
+
+def render_schedule(
+    schedule: Schedule, width: int = 72, show_comms: bool = True
+) -> str:
+    """Render a static schedule as an ASCII Gantt chart.
+
+    Main replicas are upper-case with a ``#`` fill, backups lower-case
+    with ``=``; comm rows show ``src>dst``.
+    """
+    makespan = schedule.makespan
+    scale = _scale(makespan, width)
+    arch = schedule.problem.architecture
+    indent = max(len(name) for name in arch.processor_names + arch.link_names) + 2
+
+    lines: List[str] = [
+        f"{schedule.semantics.value} schedule, makespan = {makespan:g}"
+    ]
+    for proc in arch.processor_names:
+        canvas: List[str] = []
+        for replica in schedule.processor_timeline(proc):
+            if replica.is_main:
+                label = f"[{replica.op.upper()}" + "#" * width
+            else:
+                label = f"[{replica.op.lower()}" + "=" * width
+            _paint(canvas, replica.start, replica.end, scale, label)
+        lines.append(f"{proc:<{indent - 2}}| " + "".join(canvas))
+    if show_comms:
+        for link in arch.link_names:
+            canvas = []
+            for slot in schedule.link_timeline(link):
+                label = f"[{slot.src_op}>{slot.dst_op}" + "." * width
+                _paint(canvas, slot.start, slot.end, scale, label)
+            lines.append(f"{link:<{indent - 2}}| " + "".join(canvas))
+    lines.append(_axis(makespan, scale, indent))
+    return "\n".join(lines)
+
+
+def render_trace(trace: IterationTrace, width: int = 72) -> str:
+    """Render a simulated iteration as an ASCII Gantt chart.
+
+    Take-over frames are tagged ``*``, frames lost to a crash ``!``,
+    aborted executions ``!``.
+    """
+    makespan = max(trace.makespan, 1e-9)
+    scale = _scale(makespan, width)
+    procs = sorted({r.processor for r in trace.executions})
+    links = sorted({f.link for f in trace.frames})
+    names = procs + links
+    indent = (max(len(n) for n in names) + 2) if names else 4
+
+    header = f"simulated iteration ({trace.scenario_name})"
+    if trace.completed:
+        header += f", response = {trace.response_time:g}"
+    else:
+        header += ", INCOMPLETE (some outputs never produced)"
+    lines = [header]
+
+    for proc in procs:
+        canvas: List[str] = []
+        for record in trace.executions_on(proc):
+            mark = "!" if not record.completed else ""
+            label = f"[{record.op}{mark}" + "#" * width
+            _paint(canvas, record.start, record.end, scale, label)
+        lines.append(f"{proc:<{indent - 2}}| " + "".join(canvas))
+    for link in links:
+        canvas = []
+        for frame in trace.frames_on(link):
+            mark = "*" if frame.takeover else ""
+            mark += "!" if not frame.delivered else ""
+            label = f"[{frame.dependency[0]}>{frame.dependency[1]}{mark}" + "." * width
+            _paint(canvas, frame.start, frame.end, scale, label)
+        lines.append(f"{link:<{indent - 2}}| " + "".join(canvas))
+
+    for detection in trace.detections:
+        lines.append(f"  detection: {detection}")
+    lines.append(_axis(makespan, scale, indent))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    schedules: Sequence[Tuple[str, Schedule]], width: int = 72
+) -> str:
+    """Render several schedules one under the other, shared time scale."""
+    blocks = []
+    for title, schedule in schedules:
+        blocks.append(f"--- {title} ---")
+        blocks.append(render_schedule(schedule, width))
+    return "\n".join(blocks)

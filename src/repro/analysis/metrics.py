@@ -1,0 +1,131 @@
+"""Evaluation metrics: the quantities the paper's Section 5.6 compares.
+
+The paper evaluates its two solutions on four criteria:
+
+1. the computation and communication *overhead* introduced by
+   fault-tolerance — fault-tolerant vs. plain SynDEx schedule;
+2. the capability to support *several failures* within one iteration;
+3. the *timing of the faulty system* — transient iteration (failure
+   happens) vs. subsequent iterations (failure already detected);
+4. the *appropriateness to the architecture* — bus vs. point-to-point.
+
+This module computes the static quantities (makespans, overheads,
+message and replication counts); the dynamic ones come from
+:mod:`repro.sim` traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.schedule import Schedule
+from ..sim.trace import IterationTrace
+
+__all__ = [
+    "OverheadReport",
+    "overhead",
+    "message_counts",
+    "replication_summary",
+    "processor_loads",
+    "link_loads",
+    "transient_penalty",
+]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Fault-tolerance overhead of a schedule vs. its baseline.
+
+    This is the paper's Section 6.6 / 7.4 computation: e.g. for the
+    first example ``9.4 - 8.6 = 0.8`` time units.
+    """
+
+    baseline_makespan: float
+    fault_tolerant_makespan: float
+
+    @property
+    def absolute(self) -> float:
+        """Extra time units paid for fault-tolerance."""
+        return self.fault_tolerant_makespan - self.baseline_makespan
+
+    @property
+    def relative(self) -> float:
+        """Overhead as a fraction of the baseline makespan."""
+        if self.baseline_makespan == 0:
+            return 0.0
+        return self.absolute / self.baseline_makespan
+
+    def __str__(self) -> str:
+        return (
+            f"overhead = {self.fault_tolerant_makespan:g} - "
+            f"{self.baseline_makespan:g} = {self.absolute:g} "
+            f"({100 * self.relative:.1f}%)"
+        )
+
+
+def overhead(baseline: Schedule, fault_tolerant: Schedule) -> OverheadReport:
+    """Compare a fault-tolerant schedule against its baseline."""
+    return OverheadReport(
+        baseline_makespan=baseline.makespan,
+        fault_tolerant_makespan=fault_tolerant.makespan,
+    )
+
+
+def message_counts(schedule: Schedule) -> Dict[str, int]:
+    """Static inter-processor message statistics (Section 6.4).
+
+    ``frames`` counts link occupations (one broadcast = one frame);
+    ``per_dependency_max`` is the largest number of *logical sends*
+    (hop-0 frames) any single dependency requires — the quantity the
+    paper bounds by ``K + 1`` for Solution 1.
+    """
+    per_dep: Dict[Tuple[str, str], int] = {}
+    for slot in schedule.comms:
+        if slot.hop == 0:
+            per_dep[slot.dependency] = per_dep.get(slot.dependency, 0) + 1
+    return {
+        "frames": len(schedule.comms),
+        "dependencies_with_traffic": len(per_dep),
+        "per_dependency_max": max(per_dep.values()) if per_dep else 0,
+    }
+
+
+def replication_summary(schedule: Schedule) -> Dict[str, int]:
+    """How much computation redundancy the schedule carries."""
+    replicas = schedule.all_replicas()
+    return {
+        "operations": len(schedule.operations),
+        "replicas": len(replicas),
+        "backups": sum(1 for r in replicas if not r.is_main),
+    }
+
+
+def processor_loads(schedule: Schedule) -> Dict[str, float]:
+    """Busy time per computation unit."""
+    return {
+        proc: schedule.processor_load(proc)
+        for proc in schedule.problem.architecture.processor_names
+    }
+
+
+def link_loads(schedule: Schedule) -> Dict[str, float]:
+    """Busy time per link."""
+    return {
+        link: schedule.link_load(link)
+        for link in schedule.problem.architecture.link_names
+    }
+
+
+def transient_penalty(
+    failure_free: IterationTrace, transient: IterationTrace
+) -> float:
+    """Extra response time of the iteration in which a failure occurs.
+
+    ``inf`` when the transient iteration did not complete (e.g. a
+    baseline schedule under any crash, or more crashes than K).
+    """
+    if not transient.completed:
+        return math.inf
+    return transient.response_time - failure_free.response_time

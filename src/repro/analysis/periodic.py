@@ -1,0 +1,144 @@
+"""Periodic execution analysis: latency vs throughput.
+
+The algorithm graph is executed once per input event (Section 4.2) —
+in steady state, once per *period*.  Two distinct quantities govern a
+deployment:
+
+* the **latency** of one iteration is the schedule makespan (what the
+  paper's figures show and the deadline constrains);
+* the **minimum sustainable period** is what bounds throughput: with
+  software pipelining (iteration ``n+1`` starting while ``n`` drains),
+  no unit can be busy longer than one period, so
+
+      period >= max over units of (busy time of the unit)
+
+  — the classical resource-bound.  Without pipelining (the executive
+  loops only after the iteration completes, the conservative mode this
+  repository simulates), the bound is the makespan itself.
+
+Fault-tolerance interacts with throughput twice: replication inflates
+the unit busy times (lower throughput ceiling), and after failures the
+degraded schedule concentrates the surviving work on fewer processors
+(lower still).  :func:`degraded_min_period` quantifies the second
+effect via :func:`repro.core.degrade.degraded_schedule`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..core.degrade import DegradationError, degraded_schedule
+from ..core.schedule import Schedule
+
+__all__ = [
+    "unit_busy_times",
+    "unit_spans",
+    "min_period",
+    "executive_period_bound",
+    "can_sustain",
+    "degraded_min_period",
+    "worst_degraded_min_period",
+]
+
+
+def unit_busy_times(schedule: Schedule) -> Dict[str, float]:
+    """Busy time per computation unit and per link, for one iteration."""
+    busy: Dict[str, float] = {}
+    for proc in schedule.problem.architecture.processor_names:
+        busy[proc] = schedule.processor_load(proc)
+    for link in schedule.problem.architecture.link_names:
+        busy[link] = schedule.link_load(link)
+    return busy
+
+
+def unit_spans(schedule: Schedule) -> Dict[str, float]:
+    """Iteration span per unit: last activity end minus first start.
+
+    A unit that runs its per-iteration program *in order, without
+    interleaving iterations* (the shape of the generated executive)
+    cannot start iteration ``k+1``'s program before finishing
+    iteration ``k``'s — idle gaps included.  Its span therefore bounds
+    the period achievable by straightforward pipelining, which is
+    generally *above* the pure resource bound of :func:`min_period`
+    (closing that gap needs modulo scheduling, i.e. interleaving
+    iterations inside one unit's sequence — out of scope here and in
+    the paper).
+    """
+    spans: Dict[str, float] = {}
+    for proc in schedule.problem.architecture.processor_names:
+        timeline = schedule.processor_timeline(proc)
+        spans[proc] = (
+            timeline[-1].end - timeline[0].start if timeline else 0.0
+        )
+    for link in schedule.problem.architecture.link_names:
+        timeline = schedule.link_timeline(link)
+        spans[link] = (
+            timeline[-1].end - timeline[0].start if timeline else 0.0
+        )
+    return spans
+
+
+def executive_period_bound(schedule: Schedule) -> float:
+    """Smallest period the in-order pipelined executive can sustain.
+
+    ``max(unit spans)``; validated dynamically by
+    :func:`repro.sim.pipeline.simulate_pipelined` in the test suite.
+    Always between :func:`min_period` (the resource bound) and the
+    makespan (the run-to-completion bound).
+    """
+    spans = unit_spans(schedule)
+    return max(spans.values()) if spans else 0.0
+
+
+def min_period(schedule: Schedule, pipelined: bool = True) -> float:
+    """Smallest period at which the schedule can repeat forever.
+
+    ``pipelined=True`` gives the resource bound (iterations overlap);
+    ``pipelined=False`` the conservative run-to-completion bound (the
+    makespan).
+    """
+    if not pipelined:
+        return schedule.makespan
+    busy = unit_busy_times(schedule)
+    return max(busy.values()) if busy else 0.0
+
+
+def can_sustain(
+    schedule: Schedule, period: float, pipelined: bool = True
+) -> bool:
+    """True when inputs arriving every ``period`` can be served."""
+    return min_period(schedule, pipelined) <= period + 1e-9
+
+
+def degraded_min_period(
+    schedule: Schedule, failed: Iterable[str], pipelined: bool = True
+) -> float:
+    """Minimum period of the post-failure (subsequent) regime."""
+    return min_period(degraded_schedule(schedule, failed), pipelined)
+
+
+def worst_degraded_min_period(
+    schedule: Schedule,
+    failures: Optional[int] = None,
+    pipelined: bool = True,
+) -> float:
+    """The worst minimum period over every failure pattern <= K.
+
+    This is the throughput guarantee a deployment can actually
+    promise: whatever (tolerated) pattern strikes, inputs arriving at
+    this period keep being served.  Raises
+    :class:`~repro.core.degrade.DegradationError` when some pattern is
+    beyond the schedule's tolerance (use the certifier first).
+    """
+    problem = schedule.problem
+    if failures is None:
+        failures = problem.failures
+    worst = min_period(schedule, pipelined)
+    procs = problem.architecture.processor_names
+    for size in range(1, failures + 1):
+        for pattern in itertools.combinations(procs, size):
+            worst = max(
+                worst, degraded_min_period(schedule, pattern, pipelined)
+            )
+    return worst

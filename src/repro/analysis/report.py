@@ -1,0 +1,108 @@
+"""Tabular paper-vs-measured reports for the benchmark harness.
+
+The benchmarks print, for every figure and table of the paper, the
+rows the paper reports next to what this reproduction measures.  The
+helpers here keep that formatting in one place (plain ASCII, aligned
+columns, no external dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "ComparisonRow", "comparison_table", "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell) -> str:
+    """Human-friendly cell rendering (3 significant digits for floats)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A fixed-width ASCII table."""
+
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        text_rows = [[format_value(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in text_rows))
+            if text_rows
+            else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header_line = " | ".join(
+            str(h).ljust(w) for h, w in zip(self.headers, widths)
+        )
+        lines.append(header_line)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in text_rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured line."""
+
+    quantity: str
+    paper: Cell
+    measured: Cell
+    note: str = ""
+
+    @property
+    def matches(self) -> Optional[bool]:
+        """Exact numeric agreement, when both sides are numbers."""
+        if isinstance(self.paper, (int, float)) and isinstance(
+            self.measured, (int, float)
+        ):
+            return abs(float(self.paper) - float(self.measured)) < 1e-6
+        return None
+
+
+def comparison_table(
+    rows: Iterable[ComparisonRow], title: str = ""
+) -> Table:
+    """Build the standard paper-vs-measured table."""
+    table = Table(
+        headers=("quantity", "paper", "measured", "match", "note"), title=title
+    )
+    for row in rows:
+        match = row.matches
+        table.add(
+            row.quantity,
+            row.paper,
+            row.measured,
+            "-" if match is None else ("yes" if match else "NO"),
+            row.note,
+        )
+    return table

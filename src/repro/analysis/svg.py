@@ -1,0 +1,249 @@
+"""SVG timing diagrams — publication-style Figures 14-24.
+
+The ASCII renderer (:mod:`repro.analysis.gantt`) is for terminals;
+this module produces standalone SVG documents in the visual language
+of the paper's figures: one row per processor and per link, white
+boxes for operations (thick border for main replicas, as in the
+paper), gray boxes for comms, hatched/red accents for take-over frames
+and aborted executions in simulated traces.
+
+No external dependency: the SVG is assembled from strings and is valid
+on its own (open it in any browser).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.schedule import Schedule
+from ..sim.trace import IterationTrace
+
+__all__ = ["schedule_to_svg", "trace_to_svg"]
+
+_ROW_HEIGHT = 34
+_ROW_GAP = 10
+_LEFT_MARGIN = 80
+_TOP_MARGIN = 40
+_BOTTOM_MARGIN = 36
+_PX_PER_UNIT_DEFAULT = 60
+
+
+def _escape(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+class _Canvas:
+    """Accumulates SVG elements and renders the final document."""
+
+    def __init__(self, width: float, height: float, title: str) -> None:
+        self.width = width
+        self.height = height
+        self.title = title
+        self.elements: List[str] = []
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str,
+        stroke: str = "#222",
+        stroke_width: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        dash = ' stroke-dasharray="4 2"' if dashed else ""
+        self.elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{max(w, 0.5):.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}"{dash}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        color: str = "#111",
+    ) -> None:
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}">{_escape(content)}</text>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: str = "#999") -> None:
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="1"/>'
+        )
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'  <title>{_escape(self.title)}</title>\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n"
+            f"</svg>\n"
+        )
+
+
+def _layout(rows: Sequence[str], makespan: float, px_per_unit: float):
+    width = _LEFT_MARGIN + makespan * px_per_unit + 30
+    height = (
+        _TOP_MARGIN
+        + len(rows) * (_ROW_HEIGHT + _ROW_GAP)
+        + _BOTTOM_MARGIN
+    )
+    y_of = {
+        name: _TOP_MARGIN + index * (_ROW_HEIGHT + _ROW_GAP)
+        for index, name in enumerate(rows)
+    }
+    return width, height, y_of
+
+
+def _axis(canvas: _Canvas, makespan: float, px_per_unit: float, y: float) -> None:
+    step = 1 if makespan <= 30 else max(1, int(makespan // 20))
+    tick = 0.0
+    while tick <= makespan + 1e-9:
+        x = _LEFT_MARGIN + tick * px_per_unit
+        canvas.line(x, _TOP_MARGIN - 8, x, y)
+        canvas.text(x, y + 16, f"{tick:g}", size=10, anchor="middle", color="#555")
+        tick += step
+
+
+def schedule_to_svg(
+    schedule: Schedule, px_per_unit: float = _PX_PER_UNIT_DEFAULT
+) -> str:
+    """Render a static schedule as an SVG document (Figure 17 style).
+
+    Main replicas are drawn with a thick border (the paper's "thicker
+    white box"); backups with a thin one; comms as gray boxes on their
+    link's row.
+    """
+    arch = schedule.problem.architecture
+    rows = list(arch.processor_names) + list(arch.link_names)
+    makespan = max(schedule.makespan, 1e-9)
+    width, height, y_of = _layout(rows, makespan, px_per_unit)
+    title = (
+        f"{schedule.semantics.value} schedule, makespan {schedule.makespan:g}"
+    )
+    canvas = _Canvas(width, height, title)
+    canvas.text(_LEFT_MARGIN, 20, title, size=14)
+
+    bottom = _TOP_MARGIN + len(rows) * (_ROW_HEIGHT + _ROW_GAP) - _ROW_GAP
+    _axis(canvas, makespan, px_per_unit, bottom)
+
+    for name in rows:
+        y = y_of[name]
+        canvas.text(8, y + _ROW_HEIGHT / 2 + 4, name, size=12)
+        canvas.line(_LEFT_MARGIN, y + _ROW_HEIGHT, width - 10, y + _ROW_HEIGHT)
+
+    for proc in arch.processor_names:
+        y = y_of[proc]
+        for replica in schedule.processor_timeline(proc):
+            x = _LEFT_MARGIN + replica.start * px_per_unit
+            w = replica.duration * px_per_unit
+            canvas.rect(
+                x, y, w, _ROW_HEIGHT,
+                fill="white",
+                stroke="#111",
+                stroke_width=2.5 if replica.is_main else 1.0,
+            )
+            canvas.text(
+                x + w / 2, y + _ROW_HEIGHT / 2 + 4, replica.op,
+                size=12, anchor="middle",
+            )
+
+    for link in arch.link_names:
+        y = y_of[link]
+        for slot in schedule.link_timeline(link):
+            x = _LEFT_MARGIN + slot.start * px_per_unit
+            w = slot.duration * px_per_unit
+            canvas.rect(x, y + 6, w, _ROW_HEIGHT - 12, fill="#bdbdbd")
+            canvas.text(
+                x + w / 2, y + _ROW_HEIGHT / 2 + 4,
+                f"{slot.src_op}>{slot.dst_op}",
+                size=10, anchor="middle",
+            )
+    return canvas.render()
+
+
+def trace_to_svg(
+    trace: IterationTrace, px_per_unit: float = _PX_PER_UNIT_DEFAULT
+) -> str:
+    """Render a simulated iteration as an SVG document (Figure 18/23
+    style): take-over frames hatched in red, aborted executions dashed."""
+    procs = sorted({r.processor for r in trace.executions})
+    links = sorted({f.link for f in trace.frames})
+    rows = procs + links
+    makespan = max(trace.makespan, 1e-9)
+    width, height, y_of = _layout(rows, makespan, px_per_unit)
+    height += 20 + 14 * len(trace.detections)
+    if trace.completed:
+        title = f"{trace.scenario_name}: response {trace.response_time:g}"
+    else:
+        title = f"{trace.scenario_name}: INCOMPLETE"
+    canvas = _Canvas(width, height, title)
+    canvas.text(_LEFT_MARGIN, 20, title, size=14)
+
+    bottom = _TOP_MARGIN + len(rows) * (_ROW_HEIGHT + _ROW_GAP) - _ROW_GAP
+    _axis(canvas, makespan, px_per_unit, bottom)
+
+    for name in rows:
+        y = y_of[name]
+        canvas.text(8, y + _ROW_HEIGHT / 2 + 4, name, size=12)
+        canvas.line(_LEFT_MARGIN, y + _ROW_HEIGHT, width - 10, y + _ROW_HEIGHT)
+
+    for proc in procs:
+        y = y_of[proc]
+        for record in trace.executions_on(proc):
+            x = _LEFT_MARGIN + record.start * px_per_unit
+            w = record.duration * px_per_unit
+            canvas.rect(
+                x, y, w, _ROW_HEIGHT,
+                fill="white" if record.completed else "#ffe5e5",
+                stroke="#111" if record.completed else "#c00",
+                dashed=not record.completed,
+            )
+            canvas.text(
+                x + w / 2, y + _ROW_HEIGHT / 2 + 4, record.op,
+                size=12, anchor="middle",
+            )
+
+    for link in links:
+        y = y_of[link]
+        for frame in trace.frames_on(link):
+            x = _LEFT_MARGIN + frame.start * px_per_unit
+            w = frame.duration * px_per_unit
+            if not frame.delivered:
+                fill, stroke = "#ffe5e5", "#c00"
+            elif frame.takeover:
+                fill, stroke = "#ffd9a0", "#a60"
+            else:
+                fill, stroke = "#bdbdbd", "#222"
+            canvas.rect(
+                x, y + 6, w, _ROW_HEIGHT - 12,
+                fill=fill, stroke=stroke, dashed=not frame.delivered,
+            )
+            canvas.text(
+                x + w / 2, y + _ROW_HEIGHT / 2 + 4,
+                f"{frame.dependency[0]}>{frame.dependency[1]}",
+                size=10, anchor="middle",
+            )
+
+    for index, detection in enumerate(trace.detections):
+        canvas.text(
+            _LEFT_MARGIN,
+            bottom + 30 + 14 * index,
+            f"detection: {detection}",
+            size=11,
+            color="#a00",
+        )
+    return canvas.render()

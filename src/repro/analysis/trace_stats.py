@@ -1,0 +1,131 @@
+"""Statistics over simulated traces: the dynamic side of the metrics.
+
+Complements :mod:`repro.analysis.metrics` (static schedule measures)
+with quantities only a run can show:
+
+* **detection latency** — how long after the crash the first (and the
+  last) watchdog declared the victim faulty: the dynamic face of the
+  Section 6.1 item 2 timeout-tightness trade-off;
+* **take-over lag** — crash date to first take-over frame completion:
+  how quickly redundancy actually filled the hole;
+* **utilization** — busy fraction per processor/link over the
+  iteration, from what really executed;
+* **redundant delivery ratio** — for Solution-2 runs, how many frames
+  were pure insurance (copies arriving after the first).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.faults import FailureScenario
+from ..sim.trace import IterationTrace
+
+__all__ = [
+    "DetectionStats",
+    "detection_stats",
+    "takeover_lag",
+    "utilization",
+    "redundant_delivery_ratio",
+]
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Latency of declaring one crashed processor faulty."""
+
+    victim: str
+    crash_at: float
+    first_detection: Optional[float]
+    last_detection: Optional[float]
+    detection_count: int
+
+    @property
+    def first_latency(self) -> float:
+        """Crash to first detection (``inf`` when never detected —
+        e.g. the victim had no observable duty left)."""
+        if self.first_detection is None:
+            return math.inf
+        return self.first_detection - self.crash_at
+
+    @property
+    def last_latency(self) -> float:
+        if self.last_detection is None:
+            return math.inf
+        return self.last_detection - self.crash_at
+
+
+def detection_stats(
+    trace: IterationTrace, scenario: FailureScenario
+) -> List[DetectionStats]:
+    """Per-victim detection latency of one simulated iteration."""
+    stats = []
+    for crash in scenario.crashes:
+        dates = sorted(
+            d.time for d in trace.detections if d.suspect == crash.processor
+        )
+        stats.append(
+            DetectionStats(
+                victim=crash.processor,
+                crash_at=crash.at,
+                first_detection=dates[0] if dates else None,
+                last_detection=dates[-1] if dates else None,
+                detection_count=len(dates),
+            )
+        )
+    return stats
+
+
+def takeover_lag(trace: IterationTrace, crash_at: float) -> float:
+    """Crash date to completion of the first take-over frame.
+
+    ``inf`` when no take-over happened (nothing needed one, or the
+    schedule had no redundancy).
+    """
+    dates = [f.end for f in trace.takeover_frames() if f.delivered]
+    if not dates:
+        return math.inf
+    return min(dates) - crash_at
+
+
+def utilization(trace: IterationTrace) -> Dict[str, float]:
+    """Busy fraction per processor and per link over the iteration.
+
+    The horizon is the trace makespan; aborted executions and lost
+    frames count as busy time up to their interruption (the resource
+    was genuinely occupied).
+    """
+    horizon = max(trace.makespan, 1e-12)
+    busy: Dict[str, float] = {}
+    for record in trace.executions:
+        busy[record.processor] = busy.get(record.processor, 0.0) + record.duration
+    for frame in trace.frames:
+        busy[frame.link] = busy.get(frame.link, 0.0) + frame.duration
+    return {name: value / horizon for name, value in sorted(busy.items())}
+
+
+def redundant_delivery_ratio(trace: IterationTrace) -> float:
+    """Fraction of delivered frames that were redundant copies.
+
+    A frame is redundant when an earlier delivered frame already
+    carried the same dependency to every one of its destinations.
+    Solution 1 fault-free runs score 0; Solution 2 runs score the
+    "useless communications" of Section 7.3.
+    """
+    delivered = [f for f in trace.frames if f.delivered]
+    if not delivered:
+        return 0.0
+    seen: Dict[Tuple[Tuple[str, str], str], float] = {}
+    redundant = 0
+    for frame in sorted(delivered, key=lambda f: f.end):
+        fresh = False
+        for dest in frame.destinations:
+            key = (frame.dependency, dest)
+            if key not in seen:
+                seen[key] = frame.end
+                fresh = True
+        if not fresh:
+            redundant += 1
+    return redundant / len(delivered)

@@ -1,0 +1,390 @@
+"""Command-line interface.
+
+Usage (installed as ``repro-scheduler``, or ``python -m repro``):
+
+    repro-scheduler schedule PROBLEM --method solution1 \
+        [--best-of N] [--gantt] [--svg FILE] [--executive] [--json]
+    repro-scheduler simulate PROBLEM --method solution1 \
+        [--crash P2@3.0] [--iterations 3] [--period T] [--gantt] [--svg FILE]
+    repro-scheduler compare PROBLEM [--best-of N]
+    repro-scheduler certify PROBLEM --method solution2
+    repro-scheduler advise PROBLEM
+    repro-scheduler paper [--which first|second|all] [--gantt]
+    repro-scheduler figures OUTDIR
+    repro-scheduler export-example FILE [--which first|second]
+
+``PROBLEM`` is a ``.json`` file (:mod:`repro.graphs.io`) or a ``.aaa``
+text file (:mod:`repro.graphs.text_format`), chosen by extension; the
+``export-example`` command writes the paper's examples in either
+format so users have a template to start from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    comparison_table,
+    ComparisonRow,
+    overhead,
+    render_schedule,
+    render_trace,
+    schedule_to_svg,
+    trace_to_svg,
+)
+from .core import (
+    ScheduleResult,
+    schedule_baseline,
+    schedule_solution1,
+    schedule_solution2,
+)
+from .core.list_scheduler import best_over_seeds
+from .core.solution1 import Solution1Scheduler
+from .core.solution2 import Solution2Scheduler
+from .core.syndex import SyndexScheduler
+from .core.validate import certify_fault_tolerance, validate_schedule
+from .graphs.io import load_problem, save_problem, schedule_to_dict
+from .graphs.problem import Problem
+from .graphs.text_format import load_problem_text, save_problem_text
+from .paper import examples, expected
+from .sim import FailureScenario, simulate, simulate_sequence
+
+_METHODS = {
+    "baseline": SyndexScheduler,
+    "solution1": Solution1Scheduler,
+    "solution2": Solution2Scheduler,
+}
+
+
+def _load_any(path: str) -> Problem:
+    """Load a problem by extension: .aaa text format, else JSON."""
+    if path.endswith(".aaa"):
+        return load_problem_text(path)
+    return load_problem(path)
+
+
+def _run_method(problem: Problem, method: str, best_of: int) -> ScheduleResult:
+    scheduler_class = _METHODS[method]
+    if best_of > 0:
+        return best_over_seeds(scheduler_class, problem, attempts=best_of)
+    return scheduler_class(problem).run()
+
+
+def _parse_crash(text: str) -> FailureScenario:
+    """``P2@3.0`` -> crash of P2 at t=3.0; ``P2`` -> dead from start."""
+    if "@" in text:
+        processor, _, date = text.partition("@")
+        return FailureScenario.crash(processor, float(date))
+    return FailureScenario.dead_from_start(text)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    problem = _load_any(args.problem)
+    result = _run_method(problem, args.method, args.best_of)
+    schedule = result.schedule
+    report = validate_schedule(schedule)
+    print(f"method: {args.method}  makespan: {schedule.makespan:g}")
+    print(f"validation: {'ok' if report.ok else report}")
+    if args.gantt:
+        print(render_schedule(schedule))
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(schedule_to_svg(schedule))
+        print(f"wrote SVG timing diagram to {args.svg}")
+    if args.executive:
+        from .codegen import render_executive
+
+        print(render_executive(schedule))
+    if args.json:
+        print(json.dumps(schedule_to_dict(schedule), indent=2))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _load_any(args.problem)
+    result = _run_method(problem, args.method, args.best_of)
+    schedule = result.schedule
+    scenario = _parse_crash(args.crash) if args.crash else FailureScenario.none()
+    if args.period > 0:
+        from .sim.pipeline import simulate_pipelined
+
+        run = simulate_pipelined(
+            schedule,
+            args.period,
+            iterations=max(args.iterations, 2),
+            scenario=scenario,
+        )
+        print(
+            f"pipelined run: period={args.period:g} "
+            f"iterations={run.iterations}"
+        )
+        for index, response in enumerate(run.response_times):
+            print(f"  iteration {index}: response {response:g}")
+        print(
+            f"sustainable: {run.is_sustainable(tolerance=1e-6)} "
+            f"(drift {run.drift:g})"
+        )
+        return 0
+    if args.iterations > 1:
+        scenarios = [scenario] + [
+            FailureScenario.dead_from_start(*sorted(scenario.failed_processors))
+            for _ in range(args.iterations - 1)
+        ]
+        run = simulate_sequence(schedule, scenarios)
+        for index, trace in enumerate(run.iterations):
+            label = "transient" if index == 0 else f"subsequent {index}"
+            print(
+                f"iteration {index} ({label}): "
+                f"response={trace.response_time:g} "
+                f"completed={trace.completed}"
+            )
+            if args.gantt:
+                print(render_trace(trace))
+    else:
+        trace = simulate(schedule, scenario)
+        print(
+            f"scenario: {scenario}  response: {trace.response_time:g}  "
+            f"completed: {trace.completed}"
+        )
+        if args.gantt:
+            print(render_trace(trace))
+        if args.svg:
+            with open(args.svg, "w") as handle:
+                handle.write(trace_to_svg(trace))
+            print(f"wrote SVG timing diagram to {args.svg}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    problem = _load_any(args.problem)
+    baseline = _run_method(problem, "baseline", args.best_of)
+    rows = []
+    for method in ("solution1", "solution2"):
+        result = _run_method(problem, method, args.best_of)
+        report = overhead(baseline.schedule, result.schedule)
+        rows.append(
+            (
+                method,
+                result.makespan,
+                report.absolute,
+                f"{100 * report.relative:.1f}%",
+            )
+        )
+    print(f"baseline makespan: {baseline.makespan:g}")
+    for method, makespan, absolute, relative in rows:
+        print(
+            f"{method}: makespan={makespan:g} overhead={absolute:g} "
+            f"({relative})"
+        )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .analysis.advisor import advise
+
+    problem = _load_any(args.problem)
+    advice = advise(problem, attempts=max(args.best_of, 8))
+    print(advice.render())
+    return 0 if advice.feasible and advice.certified else 1
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    problem = _load_any(args.problem)
+    result = _run_method(problem, args.method, args.best_of)
+    report = certify_fault_tolerance(result.schedule)
+    print(
+        f"method: {args.method}  K={problem.failures}  "
+        f"certified: {report.ok}"
+    )
+    for outcome in report.failing_patterns:
+        print(
+            f"  pattern {sorted(outcome.failed)} loses "
+            f"{list(outcome.lost_operations)}"
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    rows: List[ComparisonRow] = []
+    if args.which in ("first", "all"):
+        problem = examples.first_example_problem(failures=1)
+        solution = schedule_solution1(problem)
+        baseline = expected.find_seed_for_makespan(
+            SyndexScheduler, problem, expected.FIG19_BASELINE_MAKESPAN
+        )
+        rows.append(
+            ComparisonRow(
+                "Fig 17 Solution-1 makespan (bus)",
+                expected.FIG17_SOLUTION1_MAKESPAN,
+                round(solution.makespan, 6),
+            )
+        )
+        rows.append(
+            ComparisonRow(
+                "Fig 19 baseline makespan (bus)",
+                expected.FIG19_BASELINE_MAKESPAN,
+                round(baseline.makespan, 6) if baseline else None,
+                note="recovered by tie-break seed search",
+            )
+        )
+        if args.gantt:
+            print(render_schedule(solution.schedule))
+    if args.which in ("second", "all"):
+        problem = examples.second_example_problem(failures=1)
+        solution = schedule_solution2(problem)
+        baseline = expected.find_seed_for_makespan(
+            SyndexScheduler, problem, expected.FIG24_BASELINE_MAKESPAN
+        )
+        rows.append(
+            ComparisonRow(
+                "Fig 22 Solution-2 makespan (p2p)",
+                expected.FIG22_SOLUTION2_MAKESPAN,
+                round(solution.makespan, 6),
+            )
+        )
+        rows.append(
+            ComparisonRow(
+                "Fig 24 baseline makespan (p2p)",
+                expected.FIG24_BASELINE_MAKESPAN,
+                round(baseline.makespan, 6) if baseline else None,
+                note="recovered by tie-break seed search",
+            )
+        )
+        if args.gantt:
+            print(render_schedule(solution.schedule))
+    print(comparison_table(rows, title="paper vs. this reproduction"))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .paper.figures import write_all_figures
+
+    written = write_all_figures(args.outdir)
+    for artifact, path in sorted(written.items()):
+        print(f"{artifact:16s} -> {path}")
+    print(f"{len(written)} artifacts written to {args.outdir}")
+    return 0
+
+
+def _cmd_export_example(args: argparse.Namespace) -> int:
+    problem = (
+        examples.first_example_problem(failures=1)
+        if args.which == "first"
+        else examples.second_example_problem(failures=1)
+    )
+    if str(args.file).endswith(".aaa"):
+        save_problem_text(problem, args.file)
+    else:
+        save_problem(problem, args.file)
+    print(f"wrote {args.which} paper example to {args.file}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scheduler",
+        description=(
+            "Fault-tolerant static scheduling for real-time distributed "
+            "embedded systems (Girault/Lavarenne/Sighireanu/Sorel, "
+            "ICDCS 2001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_method: bool = True) -> None:
+        p.add_argument("problem", help="problem JSON file")
+        if with_method:
+            p.add_argument(
+                "--method",
+                choices=sorted(_METHODS),
+                default="solution1",
+                help="scheduling heuristic",
+            )
+        p.add_argument(
+            "--best-of",
+            type=int,
+            default=0,
+            metavar="N",
+            help="explore N tie-break seeds and keep the best makespan",
+        )
+
+    p_schedule = sub.add_parser("schedule", help="produce a static schedule")
+    add_common(p_schedule)
+    p_schedule.add_argument("--gantt", action="store_true")
+    p_schedule.add_argument("--json", action="store_true")
+    p_schedule.add_argument(
+        "--svg", metavar="FILE", default="",
+        help="write an SVG timing diagram to FILE",
+    )
+    p_schedule.add_argument(
+        "--executive", action="store_true",
+        help="print the generated per-processor executive macro-code",
+    )
+    p_schedule.set_defaults(func=_cmd_schedule)
+
+    p_sim = sub.add_parser("simulate", help="simulate iterations with crashes")
+    add_common(p_sim)
+    p_sim.add_argument(
+        "--crash", default="", metavar="PROC[@T]",
+        help="crash scenario, e.g. P2@3.0 (or P2 for dead-from-start)",
+    )
+    p_sim.add_argument("--iterations", type=int, default=1)
+    p_sim.add_argument(
+        "--period", type=float, default=0.0, metavar="T",
+        help="pipelined mode: release one iteration every T time units "
+        "(baseline/solution2 schedules)",
+    )
+    p_sim.add_argument("--gantt", action="store_true")
+    p_sim.add_argument(
+        "--svg", metavar="FILE", default="",
+        help="write an SVG timing diagram of the (last) iteration",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="overheads vs the baseline")
+    add_common(p_cmp, with_method=False)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_cert = sub.add_parser("certify", help="exhaustive K-fault certification")
+    add_common(p_cert)
+    p_cert.set_defaults(func=_cmd_certify)
+
+    p_advise = sub.add_parser(
+        "advise", help="full design advice: heuristic choice, bounds, "
+        "certification, deadline verdicts"
+    )
+    add_common(p_advise, with_method=False)
+    p_advise.set_defaults(func=_cmd_advise)
+
+    p_paper = sub.add_parser("paper", help="reproduce the paper's figures")
+    p_paper.add_argument("--which", choices=("first", "second", "all"), default="all")
+    p_paper.add_argument("--gantt", action="store_true")
+    p_paper.set_defaults(func=_cmd_paper)
+
+    p_figures = sub.add_parser(
+        "figures", help="regenerate every paper figure into a directory"
+    )
+    p_figures.add_argument("outdir")
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_export = sub.add_parser(
+        "export-example", help="write a paper example as a problem JSON"
+    )
+    p_export.add_argument("file")
+    p_export.add_argument("--which", choices=("first", "second"), default="first")
+    p_export.set_defaults(func=_cmd_export_example)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Executive macro-code generation (AAA step 2)."""
+
+from .macrocode import (
+    ExecutiveProgram,
+    Instruction,
+    Opcode,
+    generate_executive,
+    render_executive,
+    render_program,
+)
+
+__all__ = [
+    "ExecutiveProgram",
+    "Instruction",
+    "Opcode",
+    "generate_executive",
+    "render_executive",
+    "render_program",
+]

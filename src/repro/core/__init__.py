@@ -1,0 +1,57 @@
+"""The paper's contribution: the static scheduling heuristics."""
+
+from .degrade import DegradationError, degraded_schedule
+from .exhaustive import ExhaustiveSearchResult, exhaustive_baseline
+from .insertion import (
+    InsertionSolution1Scheduler,
+    InsertionSolution2Scheduler,
+    InsertionSyndexScheduler,
+)
+from .list_scheduler import (
+    ListScheduler,
+    PlacementEvaluation,
+    ScheduleResult,
+    StepRecord,
+)
+from .pressure import PressurePrePass
+from .schedule import (
+    CommSlot,
+    ReplicaPlacement,
+    Schedule,
+    ScheduleError,
+    ScheduleSemantics,
+    TimeoutEntry,
+)
+from .solution1 import Solution1Scheduler, schedule_solution1
+from .solution2 import Solution2Scheduler, schedule_solution2
+from .syndex import SyndexScheduler, schedule_baseline
+from .timeouts import compute_timeout_table, watch_bound
+
+__all__ = [
+    "DegradationError",
+    "degraded_schedule",
+    "ExhaustiveSearchResult",
+    "exhaustive_baseline",
+    "InsertionSolution1Scheduler",
+    "InsertionSolution2Scheduler",
+    "InsertionSyndexScheduler",
+    "ListScheduler",
+    "PlacementEvaluation",
+    "ScheduleResult",
+    "StepRecord",
+    "PressurePrePass",
+    "CommSlot",
+    "ReplicaPlacement",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleSemantics",
+    "TimeoutEntry",
+    "Solution1Scheduler",
+    "schedule_solution1",
+    "Solution2Scheduler",
+    "schedule_solution2",
+    "SyndexScheduler",
+    "schedule_baseline",
+    "compute_timeout_table",
+    "watch_bound",
+]

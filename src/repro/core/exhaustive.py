@@ -1,0 +1,193 @@
+"""Exhaustive search over the list-schedule space (tiny instances only).
+
+The adequation problem is NP-complete (Section 4.4), which is why the
+paper uses a greedy heuristic.  To *quantify* what the greed costs,
+this module searches the full decision space the heuristic draws from
+— every topological scheduling order × every processor assignment,
+with the same greedy append-only communication placement — and returns
+the best schedule found.
+
+This is the optimum over the class of schedules the AAA machinery can
+express (one operation committed at a time, comms appended at their
+earliest feasible dates).  It is exponential: use it on instances of a
+dozen operations at most; ``node_budget`` caps the exploration and the
+result records whether the search completed (``exhausted=True``) or
+was truncated (the returned schedule is then only an upper bound).
+
+Currently supports the non-fault-tolerant (baseline) class, which is
+what the paper's overhead comparisons are measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graphs.problem import Problem
+from .pressure import PressurePrePass
+from .schedule import CommSlot, ReplicaPlacement, Schedule, ScheduleSemantics
+from .timeline import CommPlanner, TimelineState
+
+__all__ = ["ExhaustiveSearchResult", "exhaustive_baseline"]
+
+
+@dataclass
+class ExhaustiveSearchResult:
+    """Outcome of the exhaustive search."""
+
+    schedule: Optional[Schedule]
+    makespan: float
+    explored_nodes: int
+    exhausted: bool
+
+    @property
+    def is_proven_optimal(self) -> bool:
+        """True when the whole space was searched (within its class)."""
+        return self.exhausted and self.schedule is not None
+
+
+@dataclass
+class _Node:
+    state: TimelineState
+    scheduled: Set[str]
+    candidates: Set[str]
+    placements: List[ReplicaPlacement]
+    comms: List[CommSlot]
+    makespan: float
+
+
+def exhaustive_baseline(
+    problem: Problem, node_budget: int = 200_000
+) -> ExhaustiveSearchResult:
+    """Best baseline list schedule by branch-and-bound.
+
+    Pruning: a partial schedule whose current makespan plus the
+    cheapest possible remaining tail (fastest durations, free
+    communication) cannot beat the incumbent is cut.
+    """
+    problem.check()
+    algorithm = problem.algorithm
+    planner = CommPlanner(problem)
+    prepass = PressurePrePass.for_problem(problem, mode="min")
+
+    # Cheapest remaining chain below each operation, at fastest speeds.
+    min_tail = dict(prepass.tail)
+    min_duration = dict(prepass.estimate)
+
+    best: Dict[str, object] = {
+        "makespan": float("inf"),
+        "placements": None,
+        "comms": None,
+    }
+    counter = {"nodes": 0, "truncated": False}
+
+    initial = _Node(
+        state=TimelineState.for_problem(problem),
+        scheduled=set(),
+        candidates={
+            op for op in algorithm.operation_names if not algorithm.predecessors(op)
+        },
+        placements=[],
+        comms=[],
+        makespan=0.0,
+    )
+
+    def lower_bound(node: _Node) -> float:
+        bound = node.makespan
+        for op in algorithm.operation_names:
+            if op in node.scheduled:
+                continue
+            ready = 0.0
+            for pred in algorithm.predecessors(op):
+                end = None
+                for placement in node.placements:
+                    if placement.op == pred:
+                        end = placement.end
+                        break
+                if end is not None:
+                    ready = max(ready, end)
+            bound = max(bound, ready + min_duration[op] + min_tail[op])
+        return bound
+
+    def dfs(node: _Node) -> None:
+        if counter["nodes"] >= node_budget:
+            counter["truncated"] = True
+            return
+        counter["nodes"] += 1
+        if not node.candidates:
+            if node.makespan < best["makespan"]:
+                best["makespan"] = node.makespan
+                best["placements"] = list(node.placements)
+                best["comms"] = list(node.comms)
+            return
+        if lower_bound(node) >= best["makespan"]:
+            return
+
+        for op in sorted(node.candidates):
+            for proc in problem.allowed_processors(op):
+                state = node.state.clone()
+                comms: List[CommSlot] = []
+                ready = 0.0
+                for pred in sorted(algorithm.predecessors(op)):
+                    dep = (pred, op)
+                    available = state.data_available(dep, proc)
+                    if available is None:
+                        sender = next(
+                            p.processor
+                            for p in node.placements
+                            if p.op == pred
+                        )
+                        arrivals = planner.broadcast(
+                            state, dep, sender, [proc],
+                            ready=state.replica_end[(pred, sender)],
+                            collect=comms,
+                        )
+                        available = arrivals[proc]
+                    ready = max(ready, available)
+                start = max(state.proc_free[proc], ready)
+                end = start + problem.execution.duration(op, proc)
+                state.record_replica(op, proc, end)
+                placement = ReplicaPlacement(op, proc, start, end)
+
+                child_candidates = set(node.candidates)
+                child_candidates.discard(op)
+                child_scheduled = node.scheduled | {op}
+                for succ in algorithm.successors(op):
+                    if succ not in child_scheduled and all(
+                        p in child_scheduled
+                        for p in algorithm.predecessors(succ)
+                    ):
+                        child_candidates.add(succ)
+
+                child = _Node(
+                    state=state,
+                    scheduled=child_scheduled,
+                    candidates=child_candidates,
+                    placements=node.placements + [placement],
+                    comms=node.comms + comms,
+                    makespan=max(node.makespan, end,
+                                 max((c.end for c in comms), default=0.0)),
+                )
+                dfs(child)
+
+    dfs(initial)
+
+    if best["placements"] is None:
+        return ExhaustiveSearchResult(
+            schedule=None,
+            makespan=float("inf"),
+            explored_nodes=counter["nodes"],
+            exhausted=not counter["truncated"],
+        )
+
+    schedule = Schedule(problem, ScheduleSemantics.BASELINE)
+    for placement in best["placements"]:
+        schedule.add_replica(placement)
+    for slot in best["comms"]:
+        schedule.add_comm(slot)
+    return ExhaustiveSearchResult(
+        schedule=schedule.freeze(),
+        makespan=float(best["makespan"]),
+        explored_nodes=counter["nodes"],
+        exhausted=not counter["truncated"],
+    )

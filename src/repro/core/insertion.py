@@ -1,0 +1,84 @@
+"""Insertion-based scheduling: reuse idle gaps instead of appending.
+
+The SynDEx heuristics (and the paper's) are *append-only* list
+schedulers: each computation unit's frontier only moves forward, so an
+operation whose inputs arrive late leaves the unit idle in between.
+Insertion-based list scheduling — the classical refinement — lets a
+later-scheduled operation slot into such a gap when it fits entirely,
+which can only shorten or preserve the makespan for the same decision
+sequence.
+
+This module provides drop-in insertion variants of all three
+heuristics via a mixin.  Only the *computation* units use insertion;
+links stay append-only (the static total order of comms per link is
+what guarantees correct message matching in the executive — inserting
+frames would reorder the medium, Section 4.4).
+
+These variants are an *extension* (the paper does not use insertion);
+the ablation benchmark quantifies what the simpler policy costs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from .schedule import ReplicaPlacement, ScheduleSemantics
+from .solution1 import Solution1Scheduler
+from .solution2 import Solution2Scheduler
+from .syndex import SyndexScheduler
+
+__all__ = [
+    "InsertionMixin",
+    "InsertionSyndexScheduler",
+    "InsertionSolution1Scheduler",
+    "InsertionSolution2Scheduler",
+]
+
+#: Two dates closer than this are considered equal when fitting gaps.
+_EPS = 1e-9
+
+
+class InsertionMixin:
+    """Overrides the placement policy with earliest-gap search.
+
+    Keeps, per processor, the sorted list of busy intervals committed
+    so far; :meth:`earliest_start` returns the start of the first gap
+    (or the frontier) that fits the requested duration at or after the
+    ready date.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._busy: Dict[str, List[Tuple[float, float]]] = {
+            proc: [] for proc in self.problem.architecture.processor_names
+        }
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def earliest_start(self, proc: str, ready: float, duration: float) -> float:
+        intervals = self._busy[proc]
+        candidate = ready
+        for start, end in intervals:
+            if candidate + duration <= start + _EPS:
+                return candidate
+            if end > candidate:
+                candidate = end
+        return candidate
+
+    def note_placement(self, placement: ReplicaPlacement) -> None:
+        intervals = self._busy[placement.processor]
+        bisect.insort(intervals, (placement.start, placement.end))
+
+
+class InsertionSyndexScheduler(InsertionMixin, SyndexScheduler):
+    """Insertion-based non-fault-tolerant baseline."""
+
+
+class InsertionSolution1Scheduler(InsertionMixin, Solution1Scheduler):
+    """Insertion-based Solution 1 (bus-oriented)."""
+
+
+class InsertionSolution2Scheduler(InsertionMixin, Solution2Scheduler):
+    """Insertion-based Solution 2 (point-to-point-oriented)."""

@@ -1,0 +1,344 @@
+"""The greedy list-scheduling skeleton shared by all three heuristics.
+
+Both fault-tolerant heuristics (Figures 11 and 20 of the paper) and the
+plain SynDEx baseline follow the same macro-structure:
+
+S0.  the candidate list holds the operations whose predecessors are all
+     scheduled (initially the graph inputs);
+Sn.  while candidates remain:
+     mSn.1  for every candidate operation, evaluate the schedule
+            pressure of placing it on every capable processor and keep
+            the ``K + 1`` best placements;
+     mSn.2  select the candidate whose kept pressures contain the
+            largest value (the most urgent operation);
+     mSn.3  commit the selected operation on its kept processors,
+            together with the communications this implies;
+     mSn.4  update the candidate list.
+
+Subclasses implement :meth:`evaluate_placement` (how ``S(n)(o, p)`` is
+computed, i.e. where the inputs come from) and :meth:`commit` (which
+replicas and comms are appended).  The skeleton records a
+:class:`StepRecord` per iteration so the paper's intermediate schedules
+(Figures 14-16) can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.problem import InfeasibleProblemError, Problem
+from .pressure import PressurePrePass
+from .schedule import (
+    CommSlot,
+    ReplicaPlacement,
+    Schedule,
+    ScheduleSemantics,
+)
+from .timeline import CommPlanner, TimelineState
+
+__all__ = [
+    "PlacementEvaluation",
+    "StepRecord",
+    "ScheduleResult",
+    "ListScheduler",
+    "explore_seeds",
+    "best_over_seeds",
+]
+
+
+@dataclass(frozen=True)
+class PlacementEvaluation:
+    """The evaluated cost of placing one operation on one processor.
+
+    ``start`` is ``S(n)(o, p)``, ``end`` is ``S + Delta`` and
+    ``pressure`` is ``sigma(n)(o, p)``.
+    """
+
+    op: str
+    processor: str
+    start: float
+    end: float
+    pressure: float
+
+    @property
+    def sort_key(self) -> Tuple[float, str]:
+        """Deterministic ordering: by pressure then processor name."""
+        return (self.pressure, self.processor)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened at one step of the heuristic (for Figures 14-16)."""
+
+    index: int
+    op: str
+    urgency: float
+    kept: Tuple[PlacementEvaluation, ...]
+    placements: Tuple[ReplicaPlacement, ...]
+    comms: Tuple[CommSlot, ...]
+
+    @property
+    def main_processor(self) -> str:
+        """The processor elected main for the scheduled operation."""
+        return self.placements[0].processor
+
+
+@dataclass
+class ScheduleResult:
+    """The output of a scheduler run: the schedule plus its history."""
+
+    schedule: Schedule
+    steps: List[StepRecord]
+    prepass: PressurePrePass
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    def partial_schedule(self, steps: int) -> Schedule:
+        """The schedule after only the first ``steps`` heuristic steps.
+
+        Used to regenerate the paper's intermediate timing diagrams
+        (e.g. Figure 14 = two steps, Figure 15 = three steps).
+        """
+        partial = Schedule(self.schedule.problem, self.schedule.semantics)
+        for record in self.steps[:steps]:
+            for placement in record.placements:
+                partial.add_replica(placement)
+            for slot in record.comms:
+                partial.add_comm(slot)
+        return partial.freeze()
+
+
+class ListScheduler(abc.ABC):
+    """Base class of the three scheduling heuristics.
+
+    Parameters
+    ----------
+    problem:
+        The scheduling problem; ``problem.failures`` fixes ``K``.
+    estimate_mode:
+        Duration estimator of the schedule-pressure pre-pass
+        (``average`` | ``min`` | ``max``; DESIGN.md reconstruction 1).
+    seed:
+        ``None`` (default) resolves every pressure tie
+        deterministically, by processor/operation name.  An integer
+        seed resolves ties randomly instead, as the paper does ("one
+        is randomly chosen among them", micro-step mSn.2) — different
+        seeds explore different equally-pressured schedules; see
+        :func:`explore_seeds`.
+    """
+
+    #: How the runtime must interpret the produced schedule.
+    semantics: ScheduleSemantics = ScheduleSemantics.BASELINE
+
+    #: Two pressures closer than this are considered tied.
+    TIE_EPSILON = 1e-9
+
+    def __init__(
+        self,
+        problem: Problem,
+        estimate_mode: str = "average",
+        seed: Optional[int] = None,
+    ) -> None:
+        problem.check()
+        self.problem = problem
+        self.prepass = PressurePrePass.for_problem(problem, estimate_mode)
+        self.planner = CommPlanner(problem)
+        self.state = TimelineState.for_problem(problem)
+        self.rng = None if seed is None else random.Random(seed)
+        #: Election order of each scheduled operation's processors
+        #: (main first); filled in by :meth:`commit`.
+        self.placement_order: Dict[str, List[ReplicaPlacement]] = {}
+
+    # ------------------------------------------------------------------
+    # To be provided by concrete heuristics
+    # ------------------------------------------------------------------
+    @property
+    def replication_degree(self) -> int:
+        """How many replicas each operation receives (``K + 1``)."""
+        return self.problem.replication_degree
+
+    @abc.abstractmethod
+    def evaluate_placement(self, op: str, proc: str) -> PlacementEvaluation:
+        """Tentatively place ``op`` on ``proc`` (no state mutation)."""
+
+    @abc.abstractmethod
+    def commit(
+        self, op: str, kept: Sequence[PlacementEvaluation]
+    ) -> Tuple[List[ReplicaPlacement], List[CommSlot]]:
+        """Definitively place ``op`` on the kept processors.
+
+        Must mutate :attr:`state`, fill :attr:`placement_order` for
+        ``op`` and return the placements (main first) and the created
+        comm slots.
+        """
+
+    def finalize(self, schedule: Schedule) -> None:
+        """Hook run once after the main loop (e.g. timeout tables)."""
+
+    # ------------------------------------------------------------------
+    # The shared greedy loop
+    # ------------------------------------------------------------------
+    def run(self) -> ScheduleResult:
+        """Execute the heuristic and return the frozen schedule."""
+        algorithm = self.problem.algorithm
+        schedule = Schedule(self.problem, self.semantics)
+        scheduled: set = set()
+        candidates = {
+            op for op in algorithm.operation_names if not algorithm.predecessors(op)
+        }
+        steps: List[StepRecord] = []
+
+        while candidates:
+            # mSn.1 -- evaluate every candidate on every capable processor.
+            kept_per_op: Dict[str, List[PlacementEvaluation]] = {}
+            for op in sorted(candidates):
+                kept_per_op[op] = self._keep_best(op)
+
+            # mSn.2 -- the most urgent operation: the one whose kept
+            # set contains the largest pressure.  Ties are broken by
+            # operation name by default, or randomly when a seed was
+            # given (the paper draws randomly; DESIGN.md
+            # reconstruction 2).
+            def urgency(op: str) -> float:
+                return max(e.pressure for e in kept_per_op[op])
+
+            ordered = sorted(candidates)
+            top = max(urgency(op) for op in ordered)
+            tied = [op for op in ordered if urgency(op) >= top - self.TIE_EPSILON]
+            selected = self.rng.choice(tied) if self.rng else tied[0]
+
+            # mSn.3 -- commit the operation and its comms.
+            placements, comms = self.commit(selected, kept_per_op[selected])
+            for placement in placements:
+                schedule.add_replica(placement)
+            for slot in comms:
+                schedule.add_comm(slot)
+            steps.append(
+                StepRecord(
+                    index=len(steps) + 1,
+                    op=selected,
+                    urgency=urgency(selected),
+                    kept=tuple(kept_per_op[selected]),
+                    placements=tuple(placements),
+                    comms=tuple(comms),
+                )
+            )
+
+            # mSn.4 -- update the candidate list.
+            scheduled.add(selected)
+            candidates.discard(selected)
+            for succ in algorithm.successors(selected):
+                if succ in scheduled:
+                    continue
+                if all(p in scheduled for p in algorithm.predecessors(succ)):
+                    candidates.add(succ)
+
+        if len(scheduled) != len(algorithm):
+            missing = sorted(set(algorithm.operation_names) - scheduled)
+            raise InfeasibleProblemError(
+                f"scheduling stalled; unreachable operations: {missing}"
+            )
+
+        self.finalize(schedule)
+        return ScheduleResult(
+            schedule=schedule.freeze(), steps=steps, prepass=self.prepass
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _keep_best(self, op: str) -> List[PlacementEvaluation]:
+        """Evaluate ``op`` everywhere; keep the K + 1 best placements."""
+        capable = self.problem.allowed_processors(op)
+        degree = self.replication_degree
+        if len(capable) < degree:
+            raise InfeasibleProblemError(
+                f"operation {op!r} can run on only {len(capable)} "
+                f"processor(s); K={self.problem.failures} requires {degree}"
+            )
+        evaluations = [self.evaluate_placement(op, proc) for proc in capable]
+        if self.rng is not None:
+            # Random tie-break: placements whose pressures tie (within
+            # TIE_EPSILON) are ordered randomly, everything else keeps
+            # the pressure ordering.  Sorting by the exact pressure
+            # with a random secondary key achieves this because tied
+            # pressures compare equal in the paper's tables.
+            jitter = {e.processor: self.rng.random() for e in evaluations}
+            evaluations.sort(key=lambda e: (e.pressure, jitter[e.processor]))
+        else:
+            evaluations.sort(key=lambda e: e.sort_key)
+        return evaluations[:degree]
+
+    def input_sources(self, op: str) -> List[Tuple[Tuple[str, str], str]]:
+        """The (dependency, predecessor) pairs feeding ``op``, sorted."""
+        algorithm = self.problem.algorithm
+        return [((pred, op), pred) for pred in algorithm.predecessors(op)]
+
+    # ------------------------------------------------------------------
+    # Placement policy hooks (overridden by the insertion variants)
+    # ------------------------------------------------------------------
+    def earliest_start(self, proc: str, ready: float, duration: float) -> float:
+        """Earliest date ``proc`` can run a ``duration``-long operation
+        whose inputs are ready at ``ready``.
+
+        The SynDEx heuristics are *append-only*: the computation unit's
+        frontier only moves forward.  The insertion variants
+        (:mod:`repro.core.insertion`) override this to reuse idle gaps.
+        """
+        return max(self.state.proc_free.get(proc, 0.0), ready)
+
+    def note_placement(self, placement: ReplicaPlacement) -> None:
+        """Hook called after each committed placement (for bookkeeping
+        beyond :class:`TimelineState` — e.g. the insertion variants'
+        busy-interval lists)."""
+
+    def execution_duration(self, op: str, proc: str) -> float:
+        """Shorthand for the constraints lookup."""
+        return self.problem.execution.duration(op, proc)
+
+
+# ----------------------------------------------------------------------
+# Tie-break exploration
+# ----------------------------------------------------------------------
+
+def explore_seeds(
+    scheduler_class,
+    problem: Problem,
+    seeds: Sequence[Optional[int]],
+    estimate_mode: str = "average",
+) -> List[ScheduleResult]:
+    """Run ``scheduler_class`` once per seed and return all results.
+
+    The paper's heuristics break pressure ties randomly, so a single
+    run is one sample of a small family of schedules.  Passing
+    ``None`` among the seeds includes the deterministic
+    (name-ordered) run.
+    """
+    return [
+        scheduler_class(problem, estimate_mode=estimate_mode, seed=seed).run()
+        for seed in seeds
+    ]
+
+
+def best_over_seeds(
+    scheduler_class,
+    problem: Problem,
+    attempts: int = 32,
+    estimate_mode: str = "average",
+) -> ScheduleResult:
+    """The makespan-best schedule over the deterministic run plus
+    ``attempts`` seeded runs.
+
+    This mirrors how an adequation tool is used in practice: the
+    heuristic is cheap, so one explores the tie-break space and keeps
+    the best real-time performance.  Ties on makespan keep the
+    earliest run (deterministic first), making the result reproducible.
+    """
+    seeds: List[Optional[int]] = [None] + list(range(attempts))
+    results = explore_seeds(scheduler_class, problem, seeds, estimate_mode)
+    return min(results, key=lambda result: result.makespan)

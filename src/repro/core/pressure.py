@@ -1,0 +1,123 @@
+"""Schedule pressure: the cost function of the SynDEx heuristics.
+
+The heuristics of Sections 6.2 and 7.2 pick, at each step, the
+(operation, processor) assignment minimizing then maximizing the
+*schedule pressure*
+
+    sigma(n)(o, p) = S(n)(o, p) + Delta(o, p) + E(o) - R
+
+where
+
+* ``S(n)(o, p)`` is the earliest start date of ``o`` on ``p`` given the
+  partial schedule built so far (including the communications needed to
+  bring the inputs of ``o`` to ``p``),
+* ``Delta(o, p)`` is the execution duration of ``o`` on ``p``,
+* ``E(o)`` is the length of the longest path from the *end* of ``o`` to
+  the end of the graph ("the maximal date at which o may end computed
+  from the end of the critical path"),
+* ``R`` is the critical-path length of the whole algorithm graph.
+
+``sigma`` therefore measures by how much scheduling ``o`` on ``p``
+would lengthen the critical path of the implementation: the candidate
+whose best placement is the most *urgent* (largest minimal pressure)
+is scheduled first.
+
+``E`` and ``R`` are computed once, before any assignment exists, from
+the algorithm graph and the characteristics lookup table.  Since the
+durations are processor-dependent, a processor-independent estimate is
+needed; the paper does not spell out which one SynDEx uses, so the
+estimator is configurable (DESIGN.md, reconstruction 1) and defaults to
+the average finite duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from ..graphs.algorithm import AlgorithmGraph
+from ..graphs.constraints import ExecutionTable
+from ..graphs.problem import Problem
+
+__all__ = ["PressurePrePass"]
+
+
+@dataclass(frozen=True)
+class PressurePrePass:
+    """The static part of the schedule-pressure computation.
+
+    Attributes
+    ----------
+    critical_path:
+        ``R``, the critical-path length of the algorithm graph under
+        the chosen duration estimates.
+    tail:
+        ``E(o)`` per operation: longest estimated path from the end of
+        ``o`` to the end of the graph (0 for output operations).
+    estimate:
+        The per-operation duration estimates used (exposed so reports
+        can show how urgency was derived).
+    """
+
+    critical_path: float
+    tail: Mapping[str, float]
+    estimate: Mapping[str, float]
+
+    @classmethod
+    def compute(
+        cls,
+        algorithm: AlgorithmGraph,
+        execution: ExecutionTable,
+        processors: Iterable[str],
+        mode: str = "average",
+    ) -> "PressurePrePass":
+        """Compute ``R`` and ``E`` for ``algorithm``.
+
+        ``mode`` selects the duration estimator (``average`` | ``min``
+        | ``max``) applied to each operation's finite durations over
+        ``processors``.
+        """
+        procs = list(processors)
+        estimate: Dict[str, float] = {
+            op: execution.estimate(op, procs, mode)
+            for op in algorithm.operation_names
+        }
+
+        # E(o): longest path from the end of o to the end of the graph,
+        # i.e. the estimated work that must still run after o finishes.
+        tail: Dict[str, float] = {}
+        for op in reversed(algorithm.topological_order()):
+            succs = algorithm.successors(op)
+            if not succs:
+                tail[op] = 0.0
+            else:
+                tail[op] = max(estimate[s] + tail[s] for s in succs)
+
+        # R: critical path = longest (estimate + tail) over sources,
+        # equivalently the longest start-to-end path.
+        critical_path = max(
+            estimate[op] + tail[op]
+            for op in algorithm.operation_names
+            if not algorithm.predecessors(op)
+        )
+        return cls(critical_path=critical_path, tail=dict(tail), estimate=dict(estimate))
+
+    @classmethod
+    def for_problem(cls, problem: Problem, mode: str = "average") -> "PressurePrePass":
+        """Convenience wrapper computing the pre-pass for a problem."""
+        return cls.compute(
+            problem.algorithm,
+            problem.execution,
+            problem.architecture.processor_names,
+            mode,
+        )
+
+    def pressure(self, op: str, start: float, duration: float) -> float:
+        """``sigma = S + Delta + E(o) - R`` for a tentative placement.
+
+        ``start`` is ``S(n)(o, p)`` and ``duration`` is
+        ``Delta(o, p)``; both are supplied by the scheduler, which is
+        the only component able to account for the partial schedule
+        and the communication arrivals.
+        """
+        return start + duration + self.tail[op] - self.critical_path

@@ -1,0 +1,50 @@
+"""The non-fault-tolerant SynDEx baseline heuristic (paper Section 4.4).
+
+This is the schedule the paper compares both solutions against
+(Figures 19 and 24): the plain AAA adequation heuristic of [16, 48] —
+a greedy list scheduler driven by the schedule pressure, producing one
+placement per operation and one routed communication per
+inter-processor data-dependency.
+
+Structurally the baseline is Solution 1 with a replication degree of
+one: a single "replica" per operation which is trivially the main and
+therefore the (only) sender.  We implement it that way — the subclass
+pins the degree to 1 whatever ``problem.failures`` says, drops the
+timeout post-pass, and tags the result with ``BASELINE`` semantics so
+the runtime executive knows no take-over logic exists.
+"""
+
+from __future__ import annotations
+
+from ..graphs.problem import Problem
+from .schedule import Schedule, ScheduleSemantics
+from .solution1 import Solution1Scheduler
+
+__all__ = ["SyndexScheduler", "schedule_baseline"]
+
+
+class SyndexScheduler(Solution1Scheduler):
+    """Plain AAA/SynDEx adequation: no replication, no timeouts."""
+
+    semantics = ScheduleSemantics.BASELINE
+
+    @property
+    def replication_degree(self) -> int:
+        """Always 1: the baseline ignores the problem's ``K``.
+
+        Comparisons in the paper run the baseline on the very same
+        problem instance the fault-tolerant heuristics get, so the
+        caller should not have to strip ``failures`` first.
+        """
+        return 1
+
+    def finalize(self, schedule: Schedule) -> None:
+        """No timeout tables in the baseline."""
+
+
+def schedule_baseline(problem: Problem, estimate_mode: str = "average"):
+    """One-call convenience: run the SynDEx baseline on ``problem``.
+
+    Returns the :class:`~repro.core.list_scheduler.ScheduleResult`.
+    """
+    return SyndexScheduler(problem, estimate_mode).run()

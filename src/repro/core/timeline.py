@@ -1,0 +1,287 @@
+"""Timeline bookkeeping shared by the list-scheduling heuristics.
+
+The SynDEx-style heuristics are *append-only* list schedulers: every
+computation unit and every link keeps a frontier ("free from date t")
+that only moves forward as operations and comms are appended.  This
+module holds that mutable state plus the two communication-planning
+primitives used by all three schedulers:
+
+* :meth:`CommPlanner.transfer` — carry one dependency's data from one
+  processor to another along the static route (one slot per hop);
+* :meth:`CommPlanner.broadcast` — carry one dependency's data from one
+  processor to several destinations sharing a bus in a single frame
+  (what makes Solution 1 cheap on multi-point links).
+
+States are cheaply cloneable so schedulers can evaluate tentative
+placements (the ``S(n)(o, p)`` term of the schedule pressure) without
+committing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs.problem import Problem
+from .schedule import CommSlot
+
+__all__ = ["TimelineState", "CommPlanner", "split_bus_groups"]
+
+DependencyKey = Tuple[str, str]
+
+
+def split_bus_groups(
+    problem: Problem,
+    dep: DependencyKey,
+    sender: str,
+    dests: Sequence[str],
+) -> Tuple[List[Tuple[str, List[str]]], List[str]]:
+    """Partition destinations into bus broadcasts and unicast routes.
+
+    A destination is grouped onto one of the sender's buses only when
+    the bus is no slower (for this dependency) than the destination's
+    best unicast route — otherwise a dedicated fast link would be
+    wasted on it (e.g. an express point-to-point link shunting a slow
+    backbone bus).  Ties go to the bus: one broadcast frame beats
+    several unicasts.  Returns ``([(bus, [dest...]), ...], [unicast
+    dest...])`` with deterministic ordering.
+    """
+    comm = problem.communication
+    routing = problem.routing
+    pending = [d for d in dict.fromkeys(dests) if d != sender]
+    groups: List[Tuple[str, List[str]]] = []
+    for link in problem.architecture.links_of(sender):
+        if not link.is_bus or not pending:
+            continue
+        bus_cost = comm.duration(dep, link.name)
+        served = []
+        for dest in pending:
+            if dest not in link.endpoints:
+                continue
+            best = routing.route_for_dependency(
+                sender, dest, dep, comm
+            ).transfer_time(tuple(dep), comm)
+            if bus_cost <= best + 1e-12:
+                served.append(dest)
+        if served:
+            groups.append((link.name, served))
+            pending = [d for d in pending if d not in served]
+    return groups, pending
+
+
+@dataclass
+class TimelineState:
+    """The mutable frontier of a partial schedule.
+
+    Attributes
+    ----------
+    proc_free:
+        Per processor, the date from which its computation unit is
+        idle.
+    link_free:
+        Per link, the date from which the medium is idle (the link
+        arbiter serializes all comms, Section 4.3).
+    dep_arrival:
+        Per (dependency, processor), the date at which the
+        dependency's data has arrived on that processor through a
+        comm.  Used both to compute input readiness and to avoid
+        resending data already delivered.
+    replica_end:
+        Per (operation, processor), the completion date of the replica
+        of the operation hosted by the processor (if any) — the date
+        from which the data is available *locally*.
+    """
+
+    proc_free: Dict[str, float] = field(default_factory=dict)
+    link_free: Dict[str, float] = field(default_factory=dict)
+    dep_arrival: Dict[Tuple[DependencyKey, str], float] = field(default_factory=dict)
+    replica_end: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @classmethod
+    def for_problem(cls, problem: Problem) -> "TimelineState":
+        """A fresh (empty) state for ``problem``."""
+        return cls(
+            proc_free={p: 0.0 for p in problem.architecture.processor_names},
+            link_free={l: 0.0 for l in problem.architecture.link_names},
+        )
+
+    def clone(self) -> "TimelineState":
+        """A cheap independent copy (used for tentative evaluation)."""
+        return TimelineState(
+            proc_free=dict(self.proc_free),
+            link_free=dict(self.link_free),
+            dep_arrival=dict(self.dep_arrival),
+            replica_end=dict(self.replica_end),
+        )
+
+    # ------------------------------------------------------------------
+    # Local data availability
+    # ------------------------------------------------------------------
+    def local_copy_end(self, op: str, proc: str) -> Optional[float]:
+        """Completion date of a replica of ``op`` on ``proc``, if any."""
+        return self.replica_end.get((op, proc))
+
+    def arrival(self, dep: DependencyKey, proc: str) -> Optional[float]:
+        """Arrival date of ``dep``'s data on ``proc`` via a comm, if any."""
+        return self.dep_arrival.get((tuple(dep), proc))
+
+    def record_arrival(self, dep: DependencyKey, proc: str, date: float) -> None:
+        """Record (or improve) the arrival of ``dep`` on ``proc``."""
+        key = (tuple(dep), proc)
+        known = self.dep_arrival.get(key)
+        if known is None or date < known:
+            self.dep_arrival[key] = date
+
+    def record_replica(self, op: str, proc: str, end: float) -> None:
+        """Record the completion date of ``op``'s replica on ``proc``."""
+        self.replica_end[(op, proc)] = end
+        self.proc_free[proc] = max(self.proc_free.get(proc, 0.0), end)
+
+    def data_available(self, dep: DependencyKey, proc: str) -> Optional[float]:
+        """Date from which ``dep``'s data is usable on ``proc``.
+
+        The earliest of a local replica of the source operation and a
+        delivered comm; ``None`` when the data is not (yet) reachable
+        on ``proc`` without scheduling a new comm.
+        """
+        candidates = []
+        local = self.local_copy_end(dep[0], proc)
+        if local is not None:
+            candidates.append(local)
+        arrived = self.arrival(dep, proc)
+        if arrived is not None:
+            candidates.append(arrived)
+        return min(candidates) if candidates else None
+
+
+class CommPlanner:
+    """Schedules comms onto links, honouring static routes.
+
+    One planner per problem; all methods mutate the supplied
+    :class:`TimelineState` and optionally append the created
+    :class:`~repro.core.schedule.CommSlot` objects to ``collect``
+    (pass ``None`` for tentative evaluation).
+    """
+
+    def __init__(self, problem: Problem) -> None:
+        self._problem = problem
+        self._routing = problem.routing
+        self._comm = problem.communication
+        self._arch = problem.architecture
+
+    # ------------------------------------------------------------------
+    # Unicast transfer along the static route
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        state: TimelineState,
+        dep: DependencyKey,
+        sender: str,
+        dest: str,
+        ready: float,
+        collect: Optional[List[CommSlot]] = None,
+        sender_replica: int = 0,
+    ) -> float:
+        """Carry ``dep`` from ``sender`` to ``dest``; return arrival date.
+
+        ``ready`` is the date from which the data exists on
+        ``sender``.  Each hop occupies its link from
+        ``max(data there, link free)`` for the dependency's duration
+        on that link (store-and-forward).
+        """
+        if sender == dest:
+            state.record_arrival(dep, dest, ready)
+            return ready
+        route = self._routing.route_for_dependency(sender, dest, dep, self._comm)
+        date = ready
+        hops = route.hops()
+        for index, (hop_from, hop_to, link) in enumerate(hops):
+            duration = self._comm.duration(dep, link)
+            start = max(date, state.link_free.get(link, 0.0))
+            end = start + duration
+            state.link_free[link] = end
+            if collect is not None:
+                collect.append(
+                    CommSlot(
+                        dependency=tuple(dep),
+                        sender=hop_from,
+                        destinations=(hop_to,),
+                        link=link,
+                        start=start,
+                        end=end,
+                        sender_replica=sender_replica,
+                        hop=index,
+                        route_length=len(hops),
+                    )
+                )
+            date = end
+        state.record_arrival(dep, dest, date)
+        return date
+
+    # ------------------------------------------------------------------
+    # Broadcast on a shared bus
+    # ------------------------------------------------------------------
+    def broadcast(
+        self,
+        state: TimelineState,
+        dep: DependencyKey,
+        sender: str,
+        dests: Sequence[str],
+        ready: float,
+        collect: Optional[List[CommSlot]] = None,
+        sender_replica: int = 0,
+    ) -> Dict[str, float]:
+        """Carry ``dep`` from ``sender`` to each of ``dests``.
+
+        Destinations sharing a bus with the sender are served by a
+        single frame (multi-point links physically broadcast, paper
+        Section 2.1) — unless a strictly faster dedicated route exists
+        for them (see :func:`split_bus_groups`); the rest fall back to
+        unicast routed transfers.  Returns the arrival date per
+        destination.
+        """
+        arrivals: Dict[str, float] = {d: ready for d in dests if d == sender}
+        groups, unicast = split_bus_groups(self._problem, dep, sender, dests)
+
+        for link_name, served in groups:
+            duration = self._comm.duration(dep, link_name)
+            start = max(ready, state.link_free.get(link_name, 0.0))
+            end = start + duration
+            state.link_free[link_name] = end
+            if collect is not None:
+                collect.append(
+                    CommSlot(
+                        dependency=tuple(dep),
+                        sender=sender,
+                        destinations=tuple(served),
+                        link=link_name,
+                        start=start,
+                        end=end,
+                        sender_replica=sender_replica,
+                    )
+                )
+            for dest in served:
+                state.record_arrival(dep, dest, end)
+                arrivals[dest] = end
+
+        for dest in unicast:
+            arrivals[dest] = self.transfer(
+                state, dep, sender, dest, ready, collect, sender_replica
+            )
+        return arrivals
+
+    # ------------------------------------------------------------------
+    # Worst-case point-to-point bound (used for Solution-1 timeouts)
+    # ------------------------------------------------------------------
+    def worst_case_transfer(self, dep: DependencyKey, sender: str, dest: str) -> float:
+        """Upper bound of ``dep``'s transmission delay sender -> dest.
+
+        Contention-free route time: the paper computes each timeout
+        "as the worst case upper-bound of the message transmission
+        delay ... from the characteristics of the communication
+        network" (Section 6.1, item 2).
+        """
+        if sender == dest:
+            return 0.0
+        route = self._routing.route_for_dependency(sender, dest, dep, self._comm)
+        return route.transfer_time(tuple(dep), self._comm)

@@ -1,0 +1,72 @@
+"""Problem-side models: algorithm DAG, architecture network, constraints."""
+
+from .algorithm import (
+    AlgorithmGraph,
+    AlgorithmGraphError,
+    Dependency,
+    Operation,
+    OperationKind,
+)
+from .architecture import (
+    Architecture,
+    ArchitectureError,
+    CommunicationUnit,
+    Link,
+    LinkKind,
+    Processor,
+    bus_architecture,
+    fully_connected_architecture,
+)
+from .constraints import (
+    INFINITY,
+    CommunicationTable,
+    ConstraintError,
+    ExecutionTable,
+)
+from .problem import InfeasibleProblemError, Problem
+from .routing import Route, RoutingError, RoutingTable
+from .statistics import (
+    GraphStats,
+    communication_to_computation_ratio,
+    graph_stats,
+    parallelism_profile,
+)
+from .text_format import (
+    format_problem,
+    load_problem_text,
+    parse_problem,
+    save_problem_text,
+)
+
+__all__ = [
+    "AlgorithmGraph",
+    "AlgorithmGraphError",
+    "Dependency",
+    "Operation",
+    "OperationKind",
+    "Architecture",
+    "ArchitectureError",
+    "CommunicationUnit",
+    "Link",
+    "LinkKind",
+    "Processor",
+    "bus_architecture",
+    "fully_connected_architecture",
+    "INFINITY",
+    "CommunicationTable",
+    "ConstraintError",
+    "ExecutionTable",
+    "InfeasibleProblemError",
+    "Problem",
+    "Route",
+    "RoutingError",
+    "RoutingTable",
+    "format_problem",
+    "load_problem_text",
+    "parse_problem",
+    "save_problem_text",
+    "GraphStats",
+    "communication_to_computation_ratio",
+    "graph_stats",
+    "parallelism_profile",
+]

@@ -1,0 +1,294 @@
+"""Random problem generators for property tests and parameter sweeps.
+
+The paper's evaluation uses one hand-built 7-operation example; the
+extension experiments (DESIGN.md X1-X6) sweep over synthetic workloads
+shaped like the embedded control algorithms AAA targets: layered
+sensor-to-actuator data-flows, fork-join pipelines, and
+series-parallel compositions.  All generators are deterministic given
+their seed.
+
+Execution tables are heterogeneous (per-processor speed factors plus
+per-operation jitter) and may pin the extio interface to a subset of
+processors — while always guaranteeing the ``K + 1`` capable
+processors that make the problem feasible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .algorithm import AlgorithmGraph
+from .architecture import (
+    Architecture,
+    bus_architecture,
+    fully_connected_architecture,
+)
+from .constraints import CommunicationTable, ExecutionTable
+from .problem import Problem
+
+__all__ = [
+    "layered_dag",
+    "fork_join_dag",
+    "series_parallel_dag",
+    "diamond_dag",
+    "random_execution_table",
+    "random_communication_table",
+    "random_problem",
+    "random_bus_problem",
+    "random_p2p_problem",
+]
+
+
+# ----------------------------------------------------------------------
+# Algorithm graph shapes
+# ----------------------------------------------------------------------
+
+def layered_dag(
+    layers: Sequence[int],
+    density: float = 0.5,
+    seed: int = 0,
+    name: str = "layered",
+) -> AlgorithmGraph:
+    """A layered DAG: sensors -> computation layers -> actuators.
+
+    ``layers[i]`` operations in layer ``i``; each operation is wired
+    to at least one operation of the previous layer, plus extra edges
+    with probability ``density``.  Layer 0 operations are input
+    extios, last-layer operations are output extios, everything else
+    is a comp.
+    """
+    if len(layers) < 2:
+        raise ValueError("need at least two layers (inputs and outputs)")
+    rng = random.Random(seed)
+    graph = AlgorithmGraph(name)
+    names: List[List[str]] = []
+    for level, count in enumerate(layers):
+        row = []
+        for position in range(count):
+            op = f"L{level}N{position}"
+            if level == 0 or level == len(layers) - 1:
+                graph.add_extio(op)
+            else:
+                graph.add_comp(op)
+            row.append(op)
+        names.append(row)
+    for level in range(1, len(layers)):
+        for op in names[level]:
+            parents = [p for p in names[level - 1] if rng.random() < density]
+            if not parents:
+                parents = [rng.choice(names[level - 1])]
+            for parent in parents:
+                graph.add_dependency(parent, op)
+    # Guarantee every non-output operation feeds someone.
+    for level in range(len(layers) - 1):
+        for op in names[level]:
+            if not graph.successors(op):
+                graph.add_dependency(op, rng.choice(names[level + 1]))
+    return graph
+
+
+def fork_join_dag(width: int = 4, stages: int = 2, name: str = "fork-join") -> AlgorithmGraph:
+    """input -> (width parallel chains of ``stages`` comps) -> output."""
+    graph = AlgorithmGraph(name)
+    graph.add_input("src")
+    graph.add_output("sink")
+    for branch in range(width):
+        previous = "src"
+        for stage in range(stages):
+            op = f"b{branch}s{stage}"
+            graph.add_comp(op)
+            graph.add_dependency(previous, op)
+            previous = op
+        graph.add_dependency(previous, "sink")
+    return graph
+
+
+def series_parallel_dag(
+    depth: int = 3, seed: int = 0, name: str = "series-parallel"
+) -> AlgorithmGraph:
+    """A recursive series/parallel composition between one source and
+    one sink — the classical task-graph family for scheduling studies."""
+    rng = random.Random(seed)
+    graph = AlgorithmGraph(name)
+    graph.add_input("src")
+    graph.add_output("sink")
+    counter = itertools.count()
+
+    def build(entry: str, exit_: str, level: int) -> None:
+        if level <= 0 or rng.random() < 0.3:
+            op = f"n{next(counter)}"
+            graph.add_comp(op)
+            graph.add_dependency(entry, op)
+            graph.add_dependency(op, exit_)
+            return
+        if rng.random() < 0.5:
+            middle = f"n{next(counter)}"
+            graph.add_comp(middle)
+            build(entry, middle, level - 1)
+            build(middle, exit_, level - 1)
+        else:
+            for _ in range(rng.randint(2, 3)):
+                build(entry, exit_, level - 1)
+
+    build("src", "sink", depth)
+    return graph
+
+
+def diamond_dag(width: int = 3, name: str = "diamond") -> AlgorithmGraph:
+    """The paper's running-example shape generalized: I -> A ->
+    (width parallel comps) -> E -> O."""
+    graph = AlgorithmGraph(name)
+    graph.add_input("I")
+    graph.add_comp("A")
+    graph.add_comp("E")
+    graph.add_output("O")
+    graph.add_dependency("I", "A")
+    graph.add_dependency("E", "O")
+    for index in range(width):
+        op = f"M{index}"
+        graph.add_comp(op)
+        graph.add_dependency("A", op)
+        graph.add_dependency(op, "E")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Constraint tables
+# ----------------------------------------------------------------------
+
+def random_execution_table(
+    algorithm: AlgorithmGraph,
+    processors: Sequence[str],
+    seed: int = 0,
+    base_range: Tuple[float, float] = (1.0, 4.0),
+    speed_range: Tuple[float, float] = (0.7, 1.5),
+    pin_extios_to: Optional[int] = None,
+    min_capable: int = 1,
+) -> ExecutionTable:
+    """A heterogeneous execution table.
+
+    Each operation gets a base cost in ``base_range``; each processor
+    a speed factor in ``speed_range``.  When ``pin_extios_to`` is
+    given, each extio is executable on only that many processors
+    (never fewer than ``min_capable`` — pass ``K + 1`` to keep the
+    problem feasible for replication degree ``K + 1``).
+    """
+    rng = random.Random(seed)
+    procs = list(processors)
+    speed = {proc: rng.uniform(*speed_range) for proc in procs}
+    table = ExecutionTable()
+    for operation in algorithm:
+        base = rng.uniform(*base_range)
+        allowed = list(procs)
+        if operation.is_unsafe and pin_extios_to is not None:
+            count = max(min_capable, min(pin_extios_to, len(procs)))
+            allowed = rng.sample(procs, count)
+        for proc in allowed:
+            duration = round(base * speed[proc], 3)
+            table.set_duration(operation.name, proc, max(duration, 0.001))
+    return table
+
+
+def random_communication_table(
+    algorithm: AlgorithmGraph,
+    architecture: Architecture,
+    seed: int = 0,
+    duration_range: Tuple[float, float] = (0.2, 1.5),
+) -> CommunicationTable:
+    """Per-dependency durations, identical on every link (as in the
+    paper's tables)."""
+    rng = random.Random(seed)
+    durations = {
+        dep.key: round(rng.uniform(*duration_range), 3)
+        for dep in algorithm.dependencies
+    }
+    return CommunicationTable.uniform_per_dependency(
+        durations, architecture.link_names
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole problems
+# ----------------------------------------------------------------------
+
+def random_problem(
+    algorithm: AlgorithmGraph,
+    architecture: Architecture,
+    failures: int = 1,
+    seed: int = 0,
+    comm_over_comp: float = 0.5,
+) -> Problem:
+    """Bundle ``algorithm`` and ``architecture`` with random tables.
+
+    ``comm_over_comp`` scales communication durations relative to
+    computation durations (the communication-to-computation ratio, the
+    classical knob of multiprocessor scheduling studies).
+    """
+    procs = architecture.processor_names
+    execution = random_execution_table(
+        algorithm,
+        procs,
+        seed=seed,
+        pin_extios_to=max(failures + 1, 2),
+        min_capable=failures + 1,
+    )
+    low = 0.2 * comm_over_comp * 2.5
+    high = 1.5 * comm_over_comp * 2.5
+    communication = random_communication_table(
+        algorithm,
+        architecture,
+        seed=seed + 1,
+        duration_range=(max(low, 0.01), max(high, 0.02)),
+    )
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=execution,
+        communication=communication,
+        failures=failures,
+        name=f"{algorithm.name}-on-{architecture.name}",
+    )
+
+
+def random_bus_problem(
+    operations: int = 12,
+    processors: int = 4,
+    failures: int = 1,
+    seed: int = 0,
+    comm_over_comp: float = 0.5,
+) -> Problem:
+    """A random layered workload on a single-bus architecture."""
+    rng = random.Random(seed)
+    middle = max(operations - 4, 2)
+    layer_sizes = [2]
+    while middle > 0:
+        width = min(rng.randint(2, 4), middle)
+        layer_sizes.append(width)
+        middle -= width
+    layer_sizes.append(2)
+    algorithm = layered_dag(layer_sizes, density=0.5, seed=seed)
+    architecture = bus_architecture(
+        [f"P{i + 1}" for i in range(processors)], name=f"bus{processors}"
+    )
+    return random_problem(algorithm, architecture, failures, seed, comm_over_comp)
+
+
+def random_p2p_problem(
+    operations: int = 12,
+    processors: int = 4,
+    failures: int = 1,
+    seed: int = 0,
+    comm_over_comp: float = 0.5,
+) -> Problem:
+    """A random layered workload on a fully connected architecture."""
+    bus_problem = random_bus_problem(
+        operations, processors, failures, seed, comm_over_comp
+    )
+    architecture = fully_connected_architecture(
+        [f"P{i + 1}" for i in range(processors)], name=f"p2p{processors}"
+    )
+    return random_problem(
+        bus_problem.algorithm, architecture, failures, seed, comm_over_comp
+    )

@@ -1,0 +1,250 @@
+"""JSON serialization of problems and schedules, and DOT export.
+
+SynDEx reads its graphs from files (possibly produced by synchronous-
+language compilers through the DC format); this module provides the
+equivalent interchange layer for the reproduction: a stable JSON
+encoding of :class:`~repro.graphs.problem.Problem` (round-trip exact,
+``inf`` encoded as the string ``"inf"``) and of schedules (one-way:
+schedules reference their problem), plus Graphviz DOT renderings of
+both graphs for documentation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .algorithm import AlgorithmGraph, Operation, OperationKind
+from .architecture import Architecture, LinkKind
+from .constraints import INFINITY, CommunicationTable, ExecutionTable
+from .problem import Problem
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "schedule_to_dict",
+    "algorithm_to_dot",
+    "architecture_to_dot",
+]
+
+
+def _encode_duration(value: float) -> Union[float, str]:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_duration(value: Union[float, str]) -> float:
+    return INFINITY if value == "inf" else float(value)
+
+
+# ----------------------------------------------------------------------
+# Problems
+# ----------------------------------------------------------------------
+
+def problem_to_dict(problem: Problem) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the whole problem."""
+    algorithm = problem.algorithm
+    architecture = problem.architecture
+    return {
+        "name": problem.name,
+        "failures": problem.failures,
+        "deadline": problem.deadline,
+        "algorithm": {
+            "name": algorithm.name,
+            "operations": [
+                {
+                    "name": op.name,
+                    "kind": op.kind.value,
+                    **(
+                        {"initial_value": op.initial_value}
+                        if op.initial_value is not None
+                        else {}
+                    ),
+                }
+                for op in algorithm
+            ],
+            "dependencies": [
+                {"src": dep.src, "dst": dep.dst, "label": dep.label}
+                for dep in algorithm.dependencies
+            ],
+        },
+        "architecture": {
+            "name": architecture.name,
+            "processors": [
+                {"name": proc.name, "description": proc.description}
+                for proc in architecture
+            ],
+            "links": [
+                {
+                    "name": link.name,
+                    "kind": link.kind.value,
+                    "endpoints": sorted(link.endpoints),
+                }
+                for link in architecture.links
+            ],
+        },
+        "execution": [
+            {"op": op, "processor": proc, "duration": _encode_duration(duration)}
+            for (op, proc), duration in sorted(problem.execution.entries.items())
+        ],
+        "communication": [
+            {
+                "src": dep[0],
+                "dst": dep[1],
+                "link": link,
+                "duration": duration,
+            }
+            for (dep, link), duration in sorted(
+                problem.communication.entries.items()
+            )
+        ],
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> Problem:
+    """Rebuild a problem from :func:`problem_to_dict` output."""
+    algorithm = AlgorithmGraph(data["algorithm"].get("name", "algorithm"))
+    for entry in data["algorithm"]["operations"]:
+        algorithm.add_operation(
+            Operation(
+                entry["name"],
+                OperationKind(entry.get("kind", "comp")),
+                initial_value=entry.get("initial_value"),
+            )
+        )
+    for entry in data["algorithm"]["dependencies"]:
+        algorithm.add_dependency(
+            entry["src"], entry["dst"], entry.get("label", "")
+        )
+
+    architecture = Architecture(data["architecture"].get("name", "architecture"))
+    for entry in data["architecture"]["processors"]:
+        architecture.add_processor(entry["name"], entry.get("description", ""))
+    for entry in data["architecture"]["links"]:
+        if LinkKind(entry["kind"]) is LinkKind.BUS:
+            architecture.add_bus(entry["name"], entry["endpoints"])
+        else:
+            first, second = entry["endpoints"]
+            architecture.add_link(entry["name"], first, second)
+
+    execution = ExecutionTable()
+    for entry in data["execution"]:
+        execution.set_duration(
+            entry["op"], entry["processor"], _decode_duration(entry["duration"])
+        )
+    communication = CommunicationTable()
+    for entry in data["communication"]:
+        communication.set_duration(
+            (entry["src"], entry["dst"]), entry["link"], entry["duration"]
+        )
+
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=execution,
+        communication=communication,
+        failures=data.get("failures", 0),
+        deadline=data.get("deadline"),
+        name=data.get("name", "problem"),
+    )
+
+
+def save_problem(problem: Problem, path: Union[str, Path]) -> None:
+    """Write a problem to a JSON file."""
+    Path(path).write_text(
+        json.dumps(problem_to_dict(problem), indent=2, sort_keys=True)
+    )
+
+
+def load_problem(path: Union[str, Path]) -> Problem:
+    """Read a problem from a JSON file."""
+    return problem_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Schedules (one-way export)
+# ----------------------------------------------------------------------
+
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """A JSON-ready digest of a schedule (for logging and the CLI)."""
+    return {
+        "semantics": schedule.semantics.value,
+        "makespan": schedule.makespan,
+        "replicas": [
+            {
+                "op": replica.op,
+                "processor": replica.processor,
+                "start": replica.start,
+                "end": replica.end,
+                "replica": replica.replica,
+            }
+            for replica in schedule.all_replicas()
+        ],
+        "comms": [
+            {
+                "src": slot.src_op,
+                "dst": slot.dst_op,
+                "sender": slot.sender,
+                "destinations": list(slot.destinations),
+                "link": slot.link,
+                "start": slot.start,
+                "end": slot.end,
+                "sender_replica": slot.sender_replica,
+            }
+            for slot in schedule.comms
+        ],
+        "timeouts": [
+            {
+                "op": entry.op,
+                "dependency": list(entry.dependency),
+                "watcher": entry.watcher,
+                "candidate": entry.candidate,
+                "rank": entry.rank,
+                "deadline": entry.deadline,
+            }
+            for entry in schedule.timeouts
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# DOT export
+# ----------------------------------------------------------------------
+
+def algorithm_to_dot(algorithm: AlgorithmGraph) -> str:
+    """Graphviz rendering of the data-flow graph (Figure 7 style)."""
+    lines = [f'digraph "{algorithm.name}" {{', "  rankdir=LR;"]
+    shapes = {
+        OperationKind.COMP: "ellipse",
+        OperationKind.MEM: "box",
+        OperationKind.EXTIO: "diamond",
+    }
+    for op in algorithm:
+        lines.append(
+            f'  "{op.name}" [shape={shapes[op.kind]}, '
+            f'label="{op.name}\\n({op.kind.value})"];'
+        )
+    for dep in algorithm.dependencies:
+        lines.append(f'  "{dep.src}" -> "{dep.dst}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def architecture_to_dot(architecture: Architecture) -> str:
+    """Graphviz rendering of the architecture (Figure 8 style)."""
+    lines = [f'graph "{architecture.name}" {{', "  layout=circo;"]
+    for proc in architecture:
+        lines.append(f'  "{proc.name}" [shape=box];')
+    for link in architecture.links:
+        if link.is_bus:
+            lines.append(f'  "{link.name}" [shape=point, xlabel="{link.name}"];')
+            for endpoint in sorted(link.endpoints):
+                lines.append(f'  "{endpoint}" -- "{link.name}";')
+        else:
+            first, second = sorted(link.endpoints)
+            lines.append(f'  "{first}" -- "{second}" [label="{link.name}"];')
+    lines.append("}")
+    return "\n".join(lines)

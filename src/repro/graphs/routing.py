@@ -1,0 +1,209 @@
+"""Static routing over the architecture network (paper Section 5.5).
+
+The paper argues for *static* routing: every inter-processor transfer
+follows a route fixed at compile time, which is what allows the
+computation of a worst-case upper bound per communication (and hence of
+the Solution-1 timeouts).  This module computes, for each ordered
+processor pair, a deterministic route expressed as the sequence of
+links to traverse.
+
+Routes are shortest first by hop count, then by a deterministic
+tie-break on link names, so repeated runs produce identical schedules.
+A per-dependency variant picks, among the minimum-hop routes, the one
+minimizing the dependency's total transfer time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .architecture import Architecture, ArchitectureError
+from .constraints import CommunicationTable, DependencyKey
+
+__all__ = ["Route", "RoutingTable", "RoutingError"]
+
+
+class RoutingError(ArchitectureError):
+    """Raised when no route exists between two processors."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """A static route: the processors visited and the links hopped.
+
+    ``processors`` has one more element than ``links``; hop ``i`` goes
+    from ``processors[i]`` to ``processors[i + 1]`` over ``links[i]``.
+    A route between co-located endpoints has a single processor and no
+    link (intra-processor "communication" is free and immediate in the
+    AAA model, since operations share the processor's RAM).
+    """
+
+    processors: Tuple[str, ...]
+    links: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.processors) != len(self.links) + 1:
+            raise RoutingError(
+                f"malformed route: {len(self.processors)} processors for "
+                f"{len(self.links)} links"
+            )
+
+    @property
+    def source(self) -> str:
+        return self.processors[0]
+
+    @property
+    def destination(self) -> str:
+        return self.processors[-1]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    @property
+    def is_local(self) -> bool:
+        """True for an intra-processor route (no link traversed)."""
+        return not self.links
+
+    def hops(self) -> List[Tuple[str, str, str]]:
+        """The (from_processor, to_processor, link) triples in order."""
+        return [
+            (self.processors[i], self.processors[i + 1], self.links[i])
+            for i in range(len(self.links))
+        ]
+
+    def transfer_time(
+        self, dep: DependencyKey, comm_table: CommunicationTable
+    ) -> float:
+        """Total store-and-forward transfer time of ``dep`` over the route."""
+        return sum(comm_table.duration(dep, link) for link in self.links)
+
+    def traverses(self, proc: str) -> bool:
+        """True when ``proc`` is an intermediate relay of the route.
+
+        Routes through a crashed processor are dead (Section 5.5: a
+        processor failure takes all its communication units with it),
+        which is why this predicate matters for fault analysis.
+        """
+        return proc in self.processors[1:-1]
+
+    def __str__(self) -> str:
+        if self.is_local:
+            return f"{self.source} (local)"
+        parts = [self.processors[0]]
+        for (_, to_proc, link) in self.hops():
+            parts.append(f"-[{link}]->{to_proc}")
+        return "".join(parts)
+
+
+class RoutingTable:
+    """All-pairs static routes for an architecture.
+
+    The table is computed eagerly at construction (architectures in the
+    paper's domain have < 10 processors) and then queried in O(1).
+    """
+
+    def __init__(self, architecture: Architecture) -> None:
+        architecture.check()
+        self._architecture = architecture
+        self._routes: Dict[Tuple[str, str], Route] = {}
+        self._compute_all()
+
+    @property
+    def architecture(self) -> Architecture:
+        return self._architecture
+
+    def _compute_all(self) -> None:
+        graph = self._architecture.routing_graph()
+        names = self._architecture.processor_names
+        for proc in names:
+            self._routes[(proc, proc)] = Route((proc,), ())
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for src, dst in itertools.permutations(names, 2):
+            if dst not in lengths.get(src, {}):
+                raise RoutingError(f"no route from {src!r} to {dst!r}")
+            self._routes[(src, dst)] = self._best_route(graph, src, dst)
+
+    def _best_route(self, graph: nx.MultiGraph, src: str, dst: str) -> Route:
+        """Deterministically pick a minimum-hop route from src to dst.
+
+        Among the minimum-hop processor paths (enumerated in a
+        deterministic order), each hop picks the lexicographically
+        smallest link available between the consecutive processors; the
+        path whose (processors, links) pair is smallest wins.
+        """
+        candidates: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
+        best_len: Optional[int] = None
+        for path in nx.all_shortest_paths(graph, src, dst):
+            if best_len is None:
+                best_len = len(path)
+            links = []
+            for proc_a, proc_b in zip(path, path[1:]):
+                keys = sorted(graph[proc_a][proc_b])
+                links.append(keys[0])
+            candidates.append((tuple(path), tuple(links)))
+        if not candidates:  # pragma: no cover - guarded by caller
+            raise RoutingError(f"no route from {src!r} to {dst!r}")
+        processors, links = min(candidates)
+        return Route(processors, links)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        """The static route from ``src`` to ``dst``."""
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from None
+
+    def route_for_dependency(
+        self, src: str, dst: str, dep: DependencyKey, comm_table: CommunicationTable
+    ) -> Route:
+        """Minimum-hop route minimizing the transfer time of ``dep``.
+
+        When several minimum-hop routes exist (e.g. parallel links),
+        the one with the smallest total transfer time for this
+        dependency is chosen, falling back to the deterministic
+        tie-break of :meth:`route`.
+        """
+        if src == dst:
+            return self._routes[(src, dst)]
+        graph = self._architecture.routing_graph()
+        best: Optional[Tuple[float, Tuple[str, ...], Tuple[str, ...]]] = None
+        for path in nx.all_shortest_paths(graph, src, dst):
+            links = []
+            for proc_a, proc_b in zip(path, path[1:]):
+                keys = sorted(
+                    graph[proc_a][proc_b],
+                    key=lambda name: (comm_table.duration(dep, name), name),
+                )
+                links.append(keys[0])
+            route = Route(tuple(path), tuple(links))
+            cost = route.transfer_time(dep, comm_table)
+            key = (cost, route.processors, route.links)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        return Route(best[1], best[2])
+
+    def all_routes(self) -> Dict[Tuple[str, str], Route]:
+        """A copy of the full (src, dst) -> route mapping."""
+        return dict(self._routes)
+
+    def max_hops(self) -> int:
+        """The diameter of the network, in hops."""
+        return max(route.hop_count for route in self._routes.values())
+
+    def routes_surviving(self, failed: Iterable[str]) -> Dict[Tuple[str, str], Route]:
+        """Routes whose endpoints and relays all survive ``failed``."""
+        failed_set = set(failed)
+        return {
+            key: route
+            for key, route in self._routes.items()
+            if not failed_set.intersection(route.processors)
+        }

@@ -1,0 +1,127 @@
+"""Structural statistics of algorithm graphs and problem instances.
+
+Workload characterization for reports and sweeps: how wide/deep a
+data-flow graph is, how much intrinsic parallelism it offers, and how
+communication-heavy a problem instance is.  These are the knobs that
+drive every result in the paper's domain — a chain cannot benefit from
+three processors; a comm-heavy workload punishes Solution 2's
+replicated frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .algorithm import AlgorithmGraph
+from .problem import Problem
+
+__all__ = [
+    "GraphStats",
+    "graph_stats",
+    "parallelism_profile",
+    "communication_to_computation_ratio",
+]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Shape summary of one algorithm graph."""
+
+    operations: int
+    dependencies: int
+    inputs: int
+    outputs: int
+    depth: int
+    max_width: int
+    average_width: float
+    max_fan_out: int
+    max_fan_in: int
+
+    @property
+    def edge_density(self) -> float:
+        """Dependencies per operation."""
+        if self.operations == 0:
+            return 0.0
+        return self.dependencies / self.operations
+
+    @property
+    def average_parallelism(self) -> float:
+        """Operations per level: the speedup ceiling on many processors."""
+        if self.depth == 0:
+            return 0.0
+        return self.operations / self.depth
+
+
+def _levels(algorithm: AlgorithmGraph) -> Dict[str, int]:
+    """Topological level (longest-path depth) of every operation."""
+    levels: Dict[str, int] = {}
+    for op in algorithm.topological_order():
+        preds = algorithm.predecessors(op)
+        levels[op] = 1 + max((levels[p] for p in preds), default=-1)
+    return levels
+
+
+def parallelism_profile(algorithm: AlgorithmGraph) -> List[int]:
+    """Operations per topological level, source side first.
+
+    ``max(profile)`` is the graph's peak parallelism — more processors
+    than that cannot shorten the unit-duration critical path.
+    """
+    levels = _levels(algorithm)
+    depth = max(levels.values()) + 1 if levels else 0
+    profile = [0] * depth
+    for level in levels.values():
+        profile[level] += 1
+    return profile
+
+
+def graph_stats(algorithm: AlgorithmGraph) -> GraphStats:
+    """Compute the :class:`GraphStats` of ``algorithm``."""
+    algorithm.check()
+    profile = parallelism_profile(algorithm)
+    fan_out = max(
+        (len(algorithm.successors(op)) for op in algorithm.operation_names),
+        default=0,
+    )
+    fan_in = max(
+        (len(algorithm.predecessors(op)) for op in algorithm.operation_names),
+        default=0,
+    )
+    return GraphStats(
+        operations=len(algorithm),
+        dependencies=len(algorithm.dependencies),
+        inputs=len(algorithm.inputs),
+        outputs=len(algorithm.outputs),
+        depth=len(profile),
+        max_width=max(profile) if profile else 0,
+        average_width=(sum(profile) / len(profile)) if profile else 0.0,
+        max_fan_out=fan_out,
+        max_fan_in=fan_in,
+    )
+
+
+def communication_to_computation_ratio(problem: Problem) -> float:
+    """Mean dependency transfer time over mean operation duration.
+
+    The classical CCR of multiprocessor-scheduling studies, computed
+    from the problem's own tables (average finite execution duration
+    per operation; average per-link duration per dependency).
+    """
+    algorithm = problem.algorithm
+    procs = problem.architecture.processor_names
+    links = problem.architecture.link_names
+    comp_costs = [
+        problem.execution.estimate(op, procs, "average")
+        for op in algorithm.operation_names
+    ]
+    comm_costs = [
+        problem.communication.estimate(dep.key, links, "average")
+        for dep in algorithm.dependencies
+        if any(problem.communication.has_duration(dep.key, l) for l in links)
+    ]
+    if not comp_costs or not comm_costs:
+        return 0.0
+    return (sum(comm_costs) / len(comm_costs)) / (
+        sum(comp_costs) / len(comp_costs)
+    )

@@ -1,0 +1,269 @@
+"""A human-writable textual problem format (``.aaa`` files).
+
+SynDEx imports its algorithm graphs from files produced by the
+synchronous-language compilers through the DC common format (Section
+4.1).  JSON (:mod:`repro.graphs.io`) is the machine interchange here;
+this module adds the human-facing equivalent: a small line-oriented
+format meant to be written by hand in a text editor, mirroring how the
+paper's tables read.
+
+Example — the paper's first example in full::
+
+    problem first-example
+    failures 1
+
+    # algorithm
+    extio I
+    comp  A B C D E
+    extio O
+    dep   I -> A
+    dep   A -> B C D
+    dep   B -> E
+    dep   C -> E
+    dep   D -> E
+    dep   E -> O
+
+    # architecture
+    proc  P1 P2 P3
+    bus   bus: P1 P2 P3
+
+    # durations (exec: one line per operation; inf = cannot run)
+    exec  I  P1=1    P2=1    P3=inf
+    exec  A  P1=2    P2=2    P3=2
+    exec  B  P1=3    P2=1.5  P3=1.5
+    exec  C  P1=2    P2=3    P3=1
+    exec  D  P1=3    P2=1    P3=1
+    exec  E  P1=1    P2=1    P3=1
+    exec  O  P1=1.5  P2=1.5  P3=inf
+
+    # comm: per dependency, applied to every link unless a link is named
+    comm  I -> A : 1.25
+    comm  A -> B : 0.5
+    comm  A -> C : 0.5
+    comm  A -> D : 1
+    comm  B -> E : 0.5
+    comm  C -> E : 0.6
+    comm  D -> E : 0.8
+    comm  E -> O : 1
+
+Grammar (one directive per line, ``#`` comments, blank lines ignored)::
+
+    problem NAME                  optional; default "problem"
+    failures K                    optional; default 0
+    deadline T                    optional
+    comp  NAME...                 computation operations
+    mem   NAME[=INIT]...          memory operations
+    extio NAME...                 sensor/actuator operations
+    dep   SRC -> DST [DST...]     data-dependencies (fan-out allowed)
+    proc  NAME...                 processors
+    link  NAME: A B               point-to-point link
+    bus   NAME: A B C...          multi-point link
+    exec  OP P=DUR [P=DUR...]     execution durations (inf allowed)
+    comm  SRC -> DST : DUR        same duration on every link
+    comm  SRC -> DST @ LINK : DUR duration on one specific link
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .algorithm import AlgorithmGraph
+from .architecture import Architecture
+from .constraints import INFINITY, CommunicationTable, ExecutionTable
+from .problem import Problem
+
+__all__ = ["parse_problem", "format_problem", "load_problem_text", "save_problem_text"]
+
+
+class TextFormatError(ValueError):
+    """Raised with a line number when a ``.aaa`` file is malformed."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _duration(token: str, line_no: int) -> float:
+    if token.lower() in ("inf", "infinity"):
+        return INFINITY
+    try:
+        return float(token)
+    except ValueError:
+        raise TextFormatError(line_no, f"bad duration {token!r}") from None
+
+
+def parse_problem(text: str) -> Problem:
+    """Parse a ``.aaa`` document into a :class:`Problem`."""
+    name = "problem"
+    failures = 0
+    deadline: Optional[float] = None
+    algorithm = AlgorithmGraph("algorithm")
+    architecture = Architecture("architecture")
+    execution = ExecutionTable()
+    communication = CommunicationTable()
+    comm_lines: List[Tuple[int, Tuple[str, str], Optional[str], float]] = []
+    mem_inits: Dict[str, float] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if keyword == "problem":
+                name = rest or name
+            elif keyword == "failures":
+                failures = int(rest)
+            elif keyword == "deadline":
+                deadline = float(rest)
+            elif keyword == "comp":
+                for op in rest.split():
+                    algorithm.add_comp(op)
+            elif keyword == "mem":
+                for op in rest.split():
+                    op_name, _, init = op.partition("=")
+                    algorithm.add_mem(op_name, float(init) if init else 0.0)
+            elif keyword == "extio":
+                for op in rest.split():
+                    algorithm.add_extio(op)
+            elif keyword == "dep":
+                src, _, dsts = rest.partition("->")
+                src = src.strip()
+                if not dsts:
+                    raise TextFormatError(line_no, "dep needs 'SRC -> DST'")
+                for dst in dsts.split():
+                    algorithm.add_dependency(src, dst)
+            elif keyword == "proc":
+                for proc in rest.split():
+                    architecture.add_processor(proc)
+            elif keyword in ("link", "bus"):
+                link_name, _, endpoints = rest.partition(":")
+                link_name = link_name.strip()
+                procs = endpoints.split()
+                if keyword == "link":
+                    if len(procs) != 2:
+                        raise TextFormatError(
+                            line_no, "link needs exactly two endpoints"
+                        )
+                    architecture.add_link(link_name, procs[0], procs[1])
+                else:
+                    architecture.add_bus(link_name, procs)
+            elif keyword == "exec":
+                parts = rest.split()
+                if len(parts) < 2:
+                    raise TextFormatError(line_no, "exec OP P=DUR...")
+                op = parts[0]
+                for assignment in parts[1:]:
+                    proc, _, value = assignment.partition("=")
+                    if not value:
+                        raise TextFormatError(
+                            line_no, f"bad exec entry {assignment!r}"
+                        )
+                    execution.set_duration(op, proc, _duration(value, line_no))
+            elif keyword == "comm":
+                head, _, value = rest.rpartition(":")
+                if not head:
+                    raise TextFormatError(line_no, "comm SRC -> DST : DUR")
+                duration = _duration(value.strip(), line_no)
+                head = head.strip()
+                link: Optional[str] = None
+                if "@" in head:
+                    head, _, link = head.partition("@")
+                    link = link.strip()
+                    head = head.strip()
+                src, _, dst = head.partition("->")
+                src, dst = src.strip(), dst.strip()
+                if not src or not dst:
+                    raise TextFormatError(line_no, "comm needs 'SRC -> DST'")
+                comm_lines.append((line_no, (src, dst), link, duration))
+            else:
+                raise TextFormatError(line_no, f"unknown directive {keyword!r}")
+        except TextFormatError:
+            raise
+        except ValueError as exc:
+            raise TextFormatError(line_no, str(exc)) from exc
+
+    # Comm lines without a link apply to every declared link; resolve
+    # after the architecture is fully known.
+    for line_no, dep, link, duration in comm_lines:
+        targets = [link] if link else architecture.link_names
+        if not targets:
+            raise TextFormatError(line_no, "comm before any link/bus")
+        for target in targets:
+            communication.set_duration(dep, target, duration)
+
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=execution,
+        communication=communication,
+        failures=failures,
+        deadline=deadline,
+        name=name,
+    )
+
+
+def format_problem(problem: Problem) -> str:
+    """Render a problem back to the ``.aaa`` text format."""
+    lines: List[str] = [f"problem {problem.name}", f"failures {problem.failures}"]
+    if problem.deadline is not None:
+        lines.append(f"deadline {problem.deadline:g}")
+    lines.append("")
+
+    for operation in problem.algorithm:
+        if operation.is_safe:
+            lines.append(f"comp  {operation.name}")
+        elif operation.is_memory_safe:
+            lines.append(f"mem   {operation.name}={operation.initial_value:g}")
+        else:
+            lines.append(f"extio {operation.name}")
+    for dep in problem.algorithm.dependencies:
+        lines.append(f"dep   {dep.src} -> {dep.dst}")
+    lines.append("")
+
+    lines.append("proc  " + " ".join(problem.architecture.processor_names))
+    for link in problem.architecture.links:
+        endpoints = " ".join(sorted(link.endpoints))
+        kind = "bus " if link.is_bus else "link"
+        lines.append(f"{kind}  {link.name}: {endpoints}")
+    lines.append("")
+
+    procs = problem.architecture.processor_names
+    for op in problem.algorithm.operation_names:
+        cells = []
+        for proc in procs:
+            duration = problem.execution.duration(op, proc)
+            cells.append(
+                f"{proc}={'inf' if math.isinf(duration) else f'{duration:g}'}"
+            )
+        lines.append(f"exec  {op} " + " ".join(cells))
+    lines.append("")
+
+    for dep in problem.algorithm.dependencies:
+        durations = {
+            link: problem.communication.duration(dep.key, link)
+            for link in problem.architecture.link_names
+            if problem.communication.has_duration(dep.key, link)
+        }
+        if durations and len(set(durations.values())) == 1:
+            value = next(iter(durations.values()))
+            lines.append(f"comm  {dep.src} -> {dep.dst} : {value:g}")
+        else:
+            for link, value in durations.items():
+                lines.append(
+                    f"comm  {dep.src} -> {dep.dst} @ {link} : {value:g}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def load_problem_text(path: Union[str, Path]) -> Problem:
+    """Read a problem from a ``.aaa`` file."""
+    return parse_problem(Path(path).read_text())
+
+
+def save_problem_text(problem: Problem, path: Union[str, Path]) -> None:
+    """Write a problem to a ``.aaa`` file."""
+    Path(path).write_text(format_problem(problem))

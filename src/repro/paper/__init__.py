@@ -1,0 +1,29 @@
+"""The paper's exact inputs and expected results."""
+
+from .examples import (
+    COMMUNICATION_DURATIONS,
+    EXECUTION_ROWS,
+    figure8_architecture,
+    figure8_problem,
+    figure13_bus_architecture,
+    figure21_p2p_architecture,
+    first_example_problem,
+    paper_algorithm,
+    paper_communication_table,
+    paper_execution_table,
+    second_example_problem,
+)
+
+__all__ = [
+    "COMMUNICATION_DURATIONS",
+    "EXECUTION_ROWS",
+    "figure8_architecture",
+    "figure8_problem",
+    "figure13_bus_architecture",
+    "figure21_p2p_architecture",
+    "first_example_problem",
+    "paper_algorithm",
+    "paper_communication_table",
+    "paper_execution_table",
+    "second_example_problem",
+]

@@ -1,0 +1,158 @@
+"""The exact worked examples of the paper (Sections 5.4, 6.5 and 7.3).
+
+Both examples share the same algorithm graph (Figure 7 = Figure 13(a)
+= Figure 21(a)) and the same execution-duration table; they differ in
+the architecture:
+
+* the **first example** (Section 6.5, Figure 13(b)) connects the three
+  processors with a single multi-point link (a bus) — the shape
+  Solution 1 targets;
+* the **second example** (Section 7.3, Figure 21(b)) connects them
+  with three point-to-point links ``L1.2``, ``L2.3``, ``L1.3`` — the
+  shape Solution 2 targets;
+* Figure 8's architecture (Section 4.3) has only two point-to-point
+  links (P1-P2 and P2-P3), so P1 <-> P3 traffic is routed through P2 —
+  the routing example of Section 5.5.
+
+The communication-duration tables of the paper give the same duration
+for a dependency on every link, which the constructors below honour.
+Both examples are stated for ``K = 1`` (tolerate one permanent
+fail-stop processor failure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graphs.algorithm import AlgorithmGraph
+from ..graphs.architecture import (
+    Architecture,
+    bus_architecture,
+    fully_connected_architecture,
+)
+from ..graphs.constraints import (
+    INFINITY,
+    CommunicationTable,
+    ExecutionTable,
+)
+from ..graphs.problem import Problem
+
+__all__ = [
+    "EXECUTION_ROWS",
+    "COMMUNICATION_DURATIONS",
+    "paper_algorithm",
+    "paper_execution_table",
+    "paper_communication_table",
+    "figure8_architecture",
+    "figure13_bus_architecture",
+    "figure21_p2p_architecture",
+    "first_example_problem",
+    "second_example_problem",
+    "figure8_problem",
+]
+
+#: Execution durations in time units (Sections 5.4 / 6.5 / 7.3):
+#: rows are operations, columns processors; INFINITY marks the extios
+#: pinned away from P3 (P3 controls neither the sensor nor the
+#: actuator).
+EXECUTION_ROWS: Dict[str, Dict[str, float]] = {
+    "I": {"P1": 1.0, "P2": 1.0, "P3": INFINITY},
+    "A": {"P1": 2.0, "P2": 2.0, "P3": 2.0},
+    "B": {"P1": 3.0, "P2": 1.5, "P3": 1.5},
+    "C": {"P1": 2.0, "P2": 3.0, "P3": 1.0},
+    "D": {"P1": 3.0, "P2": 1.0, "P3": 1.0},
+    "E": {"P1": 1.0, "P2": 1.0, "P3": 1.0},
+    "O": {"P1": 1.5, "P2": 1.5, "P3": INFINITY},
+}
+
+#: Communication durations in time units, identical on every link
+#: (Section 5.4: "the time needed for communicating a given
+#: data-dependency is the same on both communication links").
+COMMUNICATION_DURATIONS: Dict[Tuple[str, str], float] = {
+    ("I", "A"): 1.25,
+    ("A", "B"): 0.5,
+    ("A", "C"): 0.5,
+    ("A", "D"): 1.0,
+    ("B", "E"): 0.5,
+    ("C", "E"): 0.6,
+    ("D", "E"): 0.8,
+    ("E", "O"): 1.0,
+}
+
+
+def paper_algorithm() -> AlgorithmGraph:
+    """Figure 7: I and O are extios, A-E are comps.
+
+    Edges: I->A; A->B, A->C, A->D; B->E, C->E, D->E; E->O.
+    """
+    graph = AlgorithmGraph("paper-example")
+    graph.add_input("I")
+    for comp in ("A", "B", "C", "D", "E"):
+        graph.add_comp(comp)
+    graph.add_output("O")
+    for src, dst in COMMUNICATION_DURATIONS:
+        graph.add_dependency(src, dst)
+    return graph
+
+
+def paper_execution_table() -> ExecutionTable:
+    """The (operation x processor) duration table of the examples."""
+    return ExecutionTable.from_rows(EXECUTION_ROWS)
+
+
+def paper_communication_table(architecture: Architecture) -> CommunicationTable:
+    """The (dependency x link) duration table for ``architecture``."""
+    return CommunicationTable.uniform_per_dependency(
+        COMMUNICATION_DURATIONS, architecture.link_names
+    )
+
+
+def figure8_architecture() -> Architecture:
+    """Figure 8: three processors, two point-to-point links.
+
+    P1-P2 and P2-P3 only: traffic between P1 and P3 is statically
+    routed through P2 (Section 5.5's failure-propagation example).
+    """
+    arch = Architecture("figure8")
+    for proc in ("P1", "P2", "P3"):
+        arch.add_processor(proc)
+    arch.add_link("L1.2", "P1", "P2")
+    arch.add_link("L2.3", "P2", "P3")
+    return arch
+
+
+def figure13_bus_architecture() -> Architecture:
+    """Figure 13(b): P1, P2, P3 on a single multi-point link."""
+    return bus_architecture(("P1", "P2", "P3"), bus_name="bus", name="figure13")
+
+
+def figure21_p2p_architecture() -> Architecture:
+    """Figure 21(b): P1, P2, P3 fully connected by L1.2/L1.3/L2.3."""
+    return fully_connected_architecture(("P1", "P2", "P3"), name="figure21")
+
+
+def _problem(architecture: Architecture, failures: int, name: str) -> Problem:
+    algorithm = paper_algorithm()
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=paper_execution_table(),
+        communication=paper_communication_table(architecture),
+        failures=failures,
+        name=name,
+    )
+
+
+def first_example_problem(failures: int = 1) -> Problem:
+    """Section 6.5: the bus example, K = 1 by default."""
+    return _problem(figure13_bus_architecture(), failures, "paper-first-example")
+
+
+def second_example_problem(failures: int = 1) -> Problem:
+    """Section 7.3: the point-to-point example, K = 1 by default."""
+    return _problem(figure21_p2p_architecture(), failures, "paper-second-example")
+
+
+def figure8_problem(failures: int = 0) -> Problem:
+    """The Figure 8 architecture with the same tables (routing demo)."""
+    return _problem(figure8_architecture(), failures, "paper-figure8")

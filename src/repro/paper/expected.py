@@ -1,0 +1,93 @@
+"""Expected results transcribed from the paper, for benches and tests.
+
+All numbers are read off the paper's text and timing diagrams:
+
+* Section 6.6: first example (bus) — fault-tolerant makespan 9.4
+  (Figure 17), non-fault-tolerant 8.6 (Figure 19), overhead
+  ``9.4 - 8.6 = 0.8``;
+* Section 7.4: second example (point-to-point) — fault-tolerant 8.9
+  (Figure 22), non-fault-tolerant 8.0 (Figure 24), overhead
+  ``8.9 - 8.0 = 0.9``;
+* Sections 6.5 and Figure 15/16 narration: operation B is assigned to
+  P2 (main) and P3 (backup); operation C to P1 (main) and P3 (backup).
+
+Reproduction policy (DESIGN.md reconstruction 2): the paper's
+heuristic breaks pressure ties *randomly*, so its published baselines
+are one sample of a family of schedules.  Our deterministic run
+reproduces the fault-tolerant figures exactly; the baseline figures
+are recovered by searching the seeded tie-break family
+(:func:`find_seed_for_makespan`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Type
+
+from ..core.list_scheduler import ListScheduler, ScheduleResult
+from ..graphs.problem import Problem
+
+__all__ = [
+    "FIG17_SOLUTION1_MAKESPAN",
+    "FIG19_BASELINE_MAKESPAN",
+    "FIRST_EXAMPLE_OVERHEAD",
+    "FIG22_SOLUTION2_MAKESPAN",
+    "FIG24_BASELINE_MAKESPAN",
+    "SECOND_EXAMPLE_OVERHEAD",
+    "FIG15_B_PROCESSORS",
+    "FIG16_C_PROCESSORS",
+    "OPERATION_COUNT",
+    "DEPENDENCY_COUNT",
+    "find_seed_for_makespan",
+]
+
+#: Figure 17: final Solution-1 schedule on the bus architecture.
+FIG17_SOLUTION1_MAKESPAN = 9.4
+
+#: Figure 19: non-fault-tolerant SynDEx schedule on the bus.
+FIG19_BASELINE_MAKESPAN = 8.6
+
+#: Section 6.6: "the overhead is therefore 9.4 - 8.6 = 0.8".
+FIRST_EXAMPLE_OVERHEAD = 0.8
+
+#: Figure 22: Solution-2 schedule on the point-to-point architecture.
+FIG22_SOLUTION2_MAKESPAN = 8.9
+
+#: Figure 24: non-fault-tolerant SynDEx schedule, point-to-point.
+FIG24_BASELINE_MAKESPAN = 8.0
+
+#: Section 7.4: "the overhead is therefore 8.9 - 8.0 = 0.9".
+SECOND_EXAMPLE_OVERHEAD = 0.9
+
+#: Figure 15 narration: B's main is P2, its backup P3.
+FIG15_B_PROCESSORS = ("P2", "P3")
+
+#: Figure 16 narration: C is assigned to P1 (main) and P3.
+FIG16_C_PROCESSORS = ("P1", "P3")
+
+#: Figure 7: I, A, B, C, D, E, O.
+OPERATION_COUNT = 7
+
+#: Figure 7: I->A, A->B/C/D, B/C/D->E, E->O.
+DEPENDENCY_COUNT = 8
+
+
+def find_seed_for_makespan(
+    scheduler_class: Type[ListScheduler],
+    problem: Problem,
+    target: float,
+    attempts: int = 64,
+    tolerance: float = 1e-6,
+) -> Optional[ScheduleResult]:
+    """Search the tie-break family for a run matching ``target``.
+
+    Tries the deterministic run first, then seeds ``0..attempts-1``;
+    returns the first matching :class:`ScheduleResult`, or ``None``.
+    Used to recover the paper's published baseline schedules, which
+    correspond to specific random tie-break draws.
+    """
+    seeds: Sequence[Optional[int]] = [None] + list(range(attempts))
+    for seed in seeds:
+        result = scheduler_class(problem, seed=seed).run()
+        if abs(result.makespan - target) <= tolerance:
+            return result
+    return None

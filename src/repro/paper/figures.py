@@ -1,0 +1,161 @@
+"""Regenerate every figure of the paper as files on disk.
+
+:func:`write_all_figures` produces, in a target directory, one file
+per paper artifact:
+
+* ``fig07_algorithm.dot`` / ``fig08_architecture.dot`` /
+  ``fig13_bus.dot`` / ``fig21_p2p.dot`` — the graphs, as Graphviz;
+* ``fig14..fig16_*.svg`` — the intermediate Solution-1 schedules;
+* ``fig17_solution1.svg`` (+ ``.txt`` ASCII) — the final bus schedule;
+* ``fig17_executive.txt`` — the generated per-processor macro-code;
+* ``fig18a_transient.svg`` / ``fig18b_subsequent.svg`` — the simulated
+  crash of P2 and the degraded static plan;
+* ``fig19_baseline.svg`` — the paper's non-fault-tolerant draw;
+* ``fig22_solution2.svg`` / ``fig23_transient.svg`` /
+  ``fig24_baseline.svg`` — the point-to-point example;
+* ``summary.txt`` — the paper-vs-measured table.
+
+Exposed on the CLI as ``python -m repro figures OUTDIR``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from ..analysis.gantt import render_schedule
+from ..analysis.report import ComparisonRow, comparison_table
+from ..analysis.svg import schedule_to_svg, trace_to_svg
+from ..codegen import render_executive
+from ..core.degrade import degraded_schedule
+from ..core.solution1 import schedule_solution1
+from ..core.solution2 import schedule_solution2
+from ..core.syndex import SyndexScheduler
+from ..graphs.io import algorithm_to_dot, architecture_to_dot
+from ..sim import FailureScenario, simulate
+from . import examples, expected
+
+__all__ = ["write_all_figures"]
+
+
+def write_all_figures(outdir: Union[str, Path]) -> Dict[str, Path]:
+    """Write every regenerated figure into ``outdir``.
+
+    Returns ``{artifact id: written path}``.  Raises if the paper's
+    baseline draws cannot be recovered (they are part of the
+    reproduction contract).
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    def write(artifact: str, filename: str, content: str) -> None:
+        path = out / filename
+        path.write_text(content)
+        written[artifact] = path
+
+    # Inputs ------------------------------------------------------------
+    algorithm = examples.paper_algorithm()
+    write("fig07", "fig07_algorithm.dot", algorithm_to_dot(algorithm))
+    write(
+        "fig08", "fig08_architecture.dot",
+        architecture_to_dot(examples.figure8_architecture()),
+    )
+    write(
+        "fig13", "fig13_bus.dot",
+        architecture_to_dot(examples.figure13_bus_architecture()),
+    )
+    write(
+        "fig21", "fig21_p2p.dot",
+        architecture_to_dot(examples.figure21_p2p_architecture()),
+    )
+
+    # First example: Solution 1 on the bus -------------------------------
+    bus_problem = examples.first_example_problem(failures=1)
+    solution1 = schedule_solution1(bus_problem)
+    for steps, artifact in ((2, "fig14"), (3, "fig15"), (4, "fig16")):
+        partial = solution1.partial_schedule(steps)
+        write(
+            artifact,
+            f"{artifact}_partial_{steps}steps.svg",
+            schedule_to_svg(partial),
+        )
+    write("fig17", "fig17_solution1.svg", schedule_to_svg(solution1.schedule))
+    write(
+        "fig17-ascii", "fig17_solution1.txt",
+        render_schedule(solution1.schedule) + "\n",
+    )
+    write(
+        "fig17-executive", "fig17_executive.txt",
+        render_executive(solution1.schedule) + "\n",
+    )
+
+    transient = simulate(
+        solution1.schedule, FailureScenario.crash("P2", at=3.0)
+    )
+    write("fig18a", "fig18a_transient.svg", trace_to_svg(transient))
+    degraded = degraded_schedule(solution1.schedule, {"P2"})
+    write("fig18b", "fig18b_subsequent.svg", schedule_to_svg(degraded))
+
+    baseline_bus = expected.find_seed_for_makespan(
+        SyndexScheduler, bus_problem, expected.FIG19_BASELINE_MAKESPAN
+    )
+    if baseline_bus is None:
+        raise RuntimeError("Figure 19 draw not found in the tie family")
+    write("fig19", "fig19_baseline.svg", schedule_to_svg(baseline_bus.schedule))
+
+    # Second example: Solution 2 on point-to-point links ------------------
+    p2p_problem = examples.second_example_problem(failures=1)
+    solution2 = schedule_solution2(p2p_problem)
+    write("fig22", "fig22_solution2.svg", schedule_to_svg(solution2.schedule))
+    transient2 = simulate(
+        solution2.schedule, FailureScenario.crash("P2", at=3.0)
+    )
+    write("fig23", "fig23_transient.svg", trace_to_svg(transient2))
+
+    baseline_p2p = expected.find_seed_for_makespan(
+        SyndexScheduler, p2p_problem, expected.FIG24_BASELINE_MAKESPAN
+    )
+    if baseline_p2p is None:
+        raise RuntimeError("Figure 24 draw not found in the tie family")
+    write("fig24", "fig24_baseline.svg", schedule_to_svg(baseline_p2p.schedule))
+
+    # Summary -------------------------------------------------------------
+    rows = [
+        ComparisonRow(
+            "Fig 17 Solution-1 makespan (bus)",
+            expected.FIG17_SOLUTION1_MAKESPAN,
+            round(solution1.makespan, 6),
+        ),
+        ComparisonRow(
+            "Fig 19 baseline makespan (bus)",
+            expected.FIG19_BASELINE_MAKESPAN,
+            round(baseline_bus.makespan, 6),
+        ),
+        ComparisonRow(
+            "Section 6.6 overhead",
+            expected.FIRST_EXAMPLE_OVERHEAD,
+            round(solution1.makespan - baseline_bus.makespan, 6),
+        ),
+        ComparisonRow(
+            "Fig 22 Solution-2 makespan (p2p)",
+            expected.FIG22_SOLUTION2_MAKESPAN,
+            round(solution2.makespan, 6),
+        ),
+        ComparisonRow(
+            "Fig 24 baseline makespan (p2p)",
+            expected.FIG24_BASELINE_MAKESPAN,
+            round(baseline_p2p.makespan, 6),
+        ),
+        ComparisonRow(
+            "Section 7.4 overhead",
+            expected.SECOND_EXAMPLE_OVERHEAD,
+            round(solution2.makespan - baseline_p2p.makespan, 6),
+        ),
+    ]
+    write(
+        "summary", "summary.txt",
+        comparison_table(rows, title="paper vs. this reproduction").render()
+        + "\n",
+    )
+    return written

@@ -1,0 +1,54 @@
+"""Discrete-event simulation of schedules under processor failures."""
+
+from .engine import Delay, Event, SimulationError, Simulator, Wait, WaitAny
+from .executive import ExecutiveRuntime
+from .faults import Crash, FailureScenario, LinkCrash
+from .network import NetworkRuntime
+from .runner import (
+    SimulationRun,
+    simulate,
+    simulate_sequence,
+    transient_then_steady,
+)
+from .trace import (
+    DetectionRecord,
+    ExecutionRecord,
+    FrameRecord,
+    IterationTrace,
+)
+from .montecarlo import AvailabilityEstimate, estimate_availability
+from .pipeline import PipelineResult, simulate_pipelined
+from .values import compute_value, reference_outputs, sample_input
+from .verify import TraceReport, TraceViolation, verify_trace
+
+__all__ = [
+    "Delay",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Wait",
+    "WaitAny",
+    "ExecutiveRuntime",
+    "Crash",
+    "FailureScenario",
+    "LinkCrash",
+    "NetworkRuntime",
+    "SimulationRun",
+    "simulate",
+    "simulate_sequence",
+    "transient_then_steady",
+    "DetectionRecord",
+    "ExecutionRecord",
+    "FrameRecord",
+    "IterationTrace",
+    "AvailabilityEstimate",
+    "estimate_availability",
+    "PipelineResult",
+    "simulate_pipelined",
+    "compute_value",
+    "reference_outputs",
+    "sample_input",
+    "TraceReport",
+    "TraceViolation",
+    "verify_trace",
+]

@@ -1,0 +1,240 @@
+"""Pipelined execution: overlapping iterations at a fixed period.
+
+The reactive loop executes the data-flow graph once per input event.
+:mod:`repro.sim.runner` simulates iterations *run-to-completion* (the
+next one starts after the previous drained — always correct, never
+fast).  Real deployments pipeline: while the actuator side finishes
+iteration ``k``, the sensor side already samples ``k + 1``.  The
+static bound for that regime is
+:func:`repro.analysis.periodic.min_period` (no unit busier than one
+period); this module validates it dynamically.
+
+:func:`simulate_pipelined` releases one iteration every ``period``
+time units and runs them all over a single shared timeline: every
+computation unit loops over its static sequence once per iteration
+(its own iterations stay in order — the unit is sequential), frames
+are tagged with their iteration, links serialize across everything.
+
+Scope: ``BASELINE`` and ``SOLUTION2`` schedules.  ``SOLUTION1`` is
+rejected on purpose — its watchdog deadlines are absolute in-iteration
+dates anchored on the run-to-completion plan, and overlapping
+iterations would shift frames past them, causing systematic spurious
+elections.  (Making Solution 1 pipeline-safe would need
+period-parametric ladders; the paper targets run-to-completion
+executives, and so does ours.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.schedule import Schedule, ScheduleSemantics
+from .engine import Delay, Event, Simulator, Wait
+from .faults import FailureScenario
+from .network import NetworkRuntime
+from .trace import IterationTrace
+
+__all__ = ["PipelineResult", "simulate_pipelined"]
+
+DependencyKey = Tuple[str, str]
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipelined run."""
+
+    period: float
+    iterations: int
+    #: Completion date of each iteration (inf when it never finished).
+    completion_times: List[float] = field(default_factory=list)
+
+    @property
+    def release_times(self) -> List[float]:
+        return [index * self.period for index in range(self.iterations)]
+
+    @property
+    def response_times(self) -> List[float]:
+        """Per-iteration latency: completion minus release."""
+        return [
+            completion - release
+            for completion, release in zip(
+                self.completion_times, self.release_times
+            )
+        ]
+
+    @property
+    def all_completed(self) -> bool:
+        return all(math.isfinite(c) for c in self.completion_times)
+
+    @property
+    def max_response(self) -> float:
+        responses = self.response_times
+        return max(responses) if responses else 0.0
+
+    @property
+    def drift(self) -> float:
+        """Response growth from the first to the last iteration.
+
+        ~0 when the period is sustainable (steady state); positive and
+        roughly linear in the iteration count when the system is
+        overloaded (the backlog grows every period).
+        """
+        responses = self.response_times
+        if len(responses) < 2:
+            return 0.0
+        return responses[-1] - responses[0]
+
+    def is_sustainable(self, tolerance: float = 1e-6) -> bool:
+        """True when every iteration completed and lateness stabilized."""
+        return self.all_completed and self.drift <= tolerance
+
+
+def simulate_pipelined(
+    schedule: Schedule,
+    period: float,
+    iterations: int = 10,
+    scenario: Optional[FailureScenario] = None,
+) -> PipelineResult:
+    """Run ``iterations`` overlapping iterations, one per ``period``.
+
+    ``scenario`` crash dates are absolute over the whole run (a
+    processor dead from t=5 misses every iteration active after 5).
+    """
+    if schedule.semantics is ScheduleSemantics.SOLUTION1:
+        raise ValueError(
+            "pipelined execution is not defined for Solution-1 schedules: "
+            "the watchdog deadlines assume run-to-completion iterations "
+            "(use repro.sim.simulate_sequence instead)"
+        )
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if iterations <= 0:
+        raise ValueError("need at least one iteration")
+
+    problem = schedule.problem
+    algorithm = problem.algorithm
+    scenario = scenario or FailureScenario.none()
+    scenario.check_against(
+        problem.architecture.processor_names, problem.architecture.link_names
+    )
+
+    sim = Simulator()
+    trace = IterationTrace(scenario_name=f"pipelined(T={period:g})")
+    network = NetworkRuntime(sim, problem, scenario, trace)
+
+    data: Dict[Tuple[DependencyKey, str, int], Event] = {}
+    produced: Dict[Tuple[str, str, int], Event] = {}
+    for iteration in range(iterations):
+        for dep in algorithm.dependencies:
+            for proc in problem.architecture.processor_names:
+                data[(dep.key, proc, iteration)] = sim.event()
+        for op in algorithm.operation_names:
+            for proc in problem.architecture.processor_names:
+                produced[(op, proc, iteration)] = sim.event()
+
+    def on_deliver(dep: DependencyKey, dest: str, time: float, payload) -> None:
+        iteration = payload
+        sim.fire(data[(dep, dest, iteration)])
+
+    network.on_deliver = on_deliver
+    network.on_observe = lambda *args: None
+
+    outputs = set(algorithm.outputs)
+    completion: Dict[int, float] = {}
+    #: First production date per (iteration, output operation).
+    first_output: Dict[Tuple[int, str], float] = {}
+
+    def alive(proc: str) -> bool:
+        return scenario.alive_at(proc, sim.now)
+
+    def computation_unit(proc: str):
+        timeline = schedule.processor_timeline(proc)
+        for iteration in range(iterations):
+            release = iteration * period
+            for placement in timeline:
+                op = placement.op
+                preds = algorithm.predecessors(op)
+                if not preds and sim.now < release:
+                    # Input extios sample the event of *this* iteration,
+                    # which exists only from its release date on.
+                    yield Delay(release - sim.now)
+                for pred in preds:
+                    yield Wait(data[((pred, op), proc, iteration)])
+                if not alive(proc):
+                    return
+                start = sim.now
+                yield Delay(problem.execution.duration(op, proc))
+                end = sim.now
+                if not scenario.alive_through(proc, start, end):
+                    return
+                for dep in algorithm.out_dependencies(op):
+                    sim.fire(data[(dep.key, proc, iteration)])
+                sim.fire(produced[(op, proc, iteration)])
+                if op in outputs:
+                    key = (iteration, op)
+                    if key not in first_output:
+                        first_output[key] = end
+                    if all(
+                        (iteration, out) in first_output for out in outputs
+                    ):
+                        completion[iteration] = max(
+                            first_output[(iteration, out)] for out in outputs
+                        )
+
+    def destinations(dep: DependencyKey) -> List[str]:
+        src, dst = dep
+        return sorted(
+            proc
+            for proc in schedule.processors_of(dst)
+            if schedule.replica_on(src, proc) is None
+        )
+
+    def sender(op: str, proc: str):
+        releases = {
+            dep.key: min(
+                (
+                    slot.start
+                    for slot in schedule.comms_for_dependency(dep.key)
+                    if slot.hop == 0 and slot.sender == proc
+                ),
+                default=None,
+            )
+            for dep in algorithm.out_dependencies(op)
+        }
+        for iteration in range(iterations):
+            yield Wait(produced[(op, proc, iteration)])
+            if not alive(proc):
+                return
+            for dep in algorithm.out_dependencies(op):
+                dests = [d for d in destinations(dep.key) if d != proc]
+                if not dests:
+                    continue
+                planned = releases[dep.key]
+                if planned is not None:
+                    target = iteration * period + planned
+                    if sim.now < target:
+                        yield Delay(target - sim.now)
+                if not alive(proc):
+                    return
+                network.dispatch(dep.key, proc, dests, payload=iteration)
+
+    for proc in problem.architecture.processor_names:
+        sim.process(computation_unit(proc))
+    for op in schedule.operations:
+        if schedule.semantics is ScheduleSemantics.SOLUTION2:
+            for replica in schedule.replicas(op):
+                sim.process(sender(op, replica.processor))
+        else:
+            sim.process(sender(op, schedule.main_replica(op).processor))
+
+    sim.run()
+
+    return PipelineResult(
+        period=period,
+        iterations=iterations,
+        completion_times=[
+            completion.get(index, math.inf) for index in range(iterations)
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Functional payloads: verifying *what* is computed, not just *when*.
+
+The timing simulation alone cannot distinguish "the right data arrived
+on time" from "some data arrived on time".  This module gives every
+operation a deterministic value semantics so the executive can carry
+actual payloads and the tests can assert the paper's transparency
+claim: replication and failures must not change the computed outputs.
+
+* an input extio samples a deterministic value (the paper assumes two
+  executions of an input extio within one iteration return the same
+  value — Section 4.2 — which is exactly what makes this meaningful);
+* a comp's output is a deterministic digest of its name and its input
+  values (any injective-enough pure function works; CRC32 keeps values
+  small and runs are reproducible across processes, unlike ``hash``);
+* a mem outputs a digest of its name, its initial value and its input
+  values (replicas are initialized identically, Section 5.4 item 2).
+
+:func:`reference_outputs` evaluates the graph directly — the oracle
+every simulated run is compared against.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Mapping
+
+from ..graphs.algorithm import AlgorithmGraph, OperationKind
+
+__all__ = ["sample_input", "compute_value", "reference_outputs"]
+
+
+def _digest(text: str) -> int:
+    """A small deterministic digest (stable across runs/processes)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def sample_input(op: str, iteration: int = 0) -> int:
+    """The value an input extio acquires during ``iteration``.
+
+    Every replica of the extio samples the same value (the paper's
+    idempotent-sensor assumption).
+    """
+    return _digest(f"input:{op}:{iteration}")
+
+
+def compute_value(
+    op: str,
+    kind: OperationKind,
+    inputs: Mapping[str, int],
+    initial_value: float = 0.0,
+    iteration: int = 0,
+) -> int:
+    """The deterministic output of one operation execution."""
+    if kind is OperationKind.EXTIO and not inputs:
+        return sample_input(op, iteration)
+    feed = ",".join(f"{pred}={value}" for pred, value in sorted(inputs.items()))
+    if kind is OperationKind.MEM:
+        return _digest(f"mem:{op}:{initial_value}:{feed}")
+    return _digest(f"comp:{op}:{feed}")
+
+
+def reference_outputs(
+    algorithm: AlgorithmGraph, iteration: int = 0
+) -> Dict[str, int]:
+    """Oracle: the output values of a failure-free, unreplicated run."""
+    values: Dict[str, int] = {}
+    for op_name in algorithm.topological_order():
+        operation = algorithm.operation(op_name)
+        inputs = {pred: values[pred] for pred in algorithm.predecessors(op_name)}
+        values[op_name] = compute_value(
+            op_name,
+            operation.kind,
+            inputs,
+            initial_value=operation.initial_value or 0.0,
+            iteration=iteration,
+        )
+    return {op: values[op] for op in algorithm.outputs}

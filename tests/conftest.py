@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's examples and their schedules.
+
+Schedules are deterministic, so session-scoped fixtures are safe and
+keep the suite fast (the schedulers themselves are cheap, but they are
+used by dozens of tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.core import (
+    schedule_baseline,
+    schedule_solution1,
+    schedule_solution2,
+)
+
+
+@pytest.fixture(scope="session")
+def bus_problem():
+    """Paper first example (Section 6.5): 3 processors on one bus, K=1."""
+    return paper.first_example_problem(failures=1)
+
+
+@pytest.fixture(scope="session")
+def p2p_problem():
+    """Paper second example (Section 7.3): fully connected, K=1."""
+    return paper.second_example_problem(failures=1)
+
+
+@pytest.fixture(scope="session")
+def figure8_problem():
+    """Figure 8: chain P1-P2-P3 (routing through P2), K=0."""
+    return paper.figure8_problem(failures=0)
+
+
+@pytest.fixture(scope="session")
+def bus_solution1(bus_problem):
+    """Deterministic Solution-1 result on the bus example (Figure 17)."""
+    return schedule_solution1(bus_problem)
+
+
+@pytest.fixture(scope="session")
+def p2p_solution2(p2p_problem):
+    """Deterministic Solution-2 result on the p2p example (Figure 22)."""
+    return schedule_solution2(p2p_problem)
+
+
+@pytest.fixture(scope="session")
+def bus_baseline(bus_problem):
+    """Deterministic SynDEx baseline on the bus example."""
+    return schedule_baseline(bus_problem)
+
+
+@pytest.fixture(scope="session")
+def p2p_baseline(p2p_problem):
+    """Deterministic SynDEx baseline on the p2p example."""
+    return schedule_baseline(p2p_problem)

@@ -1,0 +1,105 @@
+"""Tests for the design advisor."""
+
+import pytest
+
+from repro.analysis.advisor import Advice, advise
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+
+
+class TestPaperExamples:
+    def test_bus_example(self, bus_problem):
+        advice = advise(bus_problem, attempts=8)
+        assert advice.feasible
+        assert advice.architecture_kind == "single bus"
+        assert advice.paper_recommendation == "solution1"
+        assert advice.measured_recommendation == "solution1"
+        assert advice.agreement
+        assert advice.certified
+        assert advice.cut_processors == []
+        assert advice.recommended_result.makespan <= 9.4 + 1e-9
+
+    def test_p2p_example(self, p2p_problem):
+        advice = advise(p2p_problem, attempts=8)
+        assert advice.feasible
+        assert advice.architecture_kind == "point-to-point"
+        assert advice.paper_recommendation == "solution2"
+        assert advice.certified
+
+    def test_lower_bounds_ordered(self, bus_problem):
+        advice = advise(bus_problem, attempts=4)
+        assert advice.lower_bound <= advice.replicated_lower_bound + 1e-9
+        assert advice.recommended_result.makespan >= advice.lower_bound
+
+
+class TestDeadlines:
+    def test_deadline_verdicts(self, bus_problem):
+        problem = bus_problem.with_failures(1)
+        problem.deadline = 9.5
+        advice = advise(problem, attempts=8)
+        assert advice.deadline_verdicts["solution1"] is True
+
+    def test_impossible_deadline(self, bus_problem):
+        problem = bus_problem.with_failures(1)
+        problem.deadline = 5.0  # below the lower bound of 7.0
+        advice = advise(problem, attempts=4)
+        assert advice.deadline_verdicts["solution1"] is False
+        assert problem.deadline < advice.lower_bound
+
+
+class TestInfeasible:
+    def test_infeasible_problem_diagnosed(self, bus_problem):
+        advice = advise(bus_problem.with_failures(2))
+        assert not advice.feasible
+        assert "'I'" in advice.diagnosis or "K=2" in advice.diagnosis
+        assert advice.recommended_result is None
+        assert "INFEASIBLE" in advice.render()
+
+
+class TestRandomProblems:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_bus_problems_recommend_solution1(self, seed):
+        problem = random_bus_problem(
+            operations=10, processors=4, failures=1, seed=seed,
+            comm_over_comp=1.0,
+        )
+        advice = advise(problem, attempts=8)
+        assert advice.paper_recommendation == "solution1"
+        assert advice.certified
+
+    def test_render_mentions_everything(self):
+        problem = random_p2p_problem(operations=8, processors=3, failures=1, seed=1)
+        advice = advise(problem, attempts=4)
+        text = advice.render()
+        assert "recommendation" in text
+        assert "lower bounds" in text
+        assert "certification" in text
+
+
+class TestCutProcessorWarning:
+    def test_bridge_topology_warned(self):
+        from repro.graphs.algorithm import chain
+        from repro.graphs.architecture import Architecture
+        from repro.graphs.constraints import (
+            CommunicationTable,
+            ExecutionTable,
+        )
+        from repro.graphs.problem import Problem
+
+        arch = Architecture("bridged")
+        for proc in ("A1", "B", "C1"):
+            arch.add_processor(proc)
+        arch.add_link("L1", "A1", "B")
+        arch.add_link("L2", "B", "C1")
+        algorithm = chain(["x", "y"])
+        problem = Problem(
+            algorithm=algorithm,
+            architecture=arch,
+            execution=ExecutionTable.uniform(["x", "y"], arch.processor_names),
+            communication=CommunicationTable.uniform_per_dependency(
+                {("x", "y"): 0.5}, arch.link_names
+            ),
+            failures=1,
+        )
+        advice = advise(problem, attempts=4)
+        assert advice.cut_processors == ["B"]
+        assert "WARNING" in advice.render()

@@ -1,0 +1,203 @@
+"""Unit tests for the algorithm (data-flow graph) model."""
+
+import pytest
+
+from repro.graphs.algorithm import (
+    AlgorithmGraph,
+    AlgorithmGraphError,
+    Dependency,
+    Operation,
+    OperationKind,
+    chain,
+)
+
+
+def diamond():
+    graph = AlgorithmGraph("diamond")
+    graph.add_input("I")
+    graph.add_comp("A")
+    graph.add_comp("B")
+    graph.add_output("O")
+    graph.add_dependency("I", "A")
+    graph.add_dependency("I", "B")
+    graph.add_dependency("A", "O")
+    graph.add_dependency("B", "O")
+    return graph
+
+
+class TestOperation:
+    def test_kinds(self):
+        comp = Operation("a", OperationKind.COMP)
+        mem = Operation("m", OperationKind.MEM, initial_value=1.5)
+        extio = Operation("x", OperationKind.EXTIO)
+        assert comp.is_safe and not comp.is_unsafe
+        assert mem.is_memory_safe and not mem.is_safe
+        assert extio.is_unsafe
+
+    def test_default_kind_is_comp(self):
+        assert Operation("a").kind is OperationKind.COMP
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AlgorithmGraphError):
+            Operation("")
+
+    def test_initial_value_only_for_mems(self):
+        with pytest.raises(AlgorithmGraphError):
+            Operation("a", OperationKind.COMP, initial_value=0.0)
+        assert Operation("m", OperationKind.MEM, initial_value=0.0).initial_value == 0.0
+
+    def test_str(self):
+        assert str(Operation("a")) == "a"
+
+
+class TestDependency:
+    def test_key(self):
+        assert Dependency("a", "b").key == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(AlgorithmGraphError):
+            Dependency("a", "a")
+
+    def test_str(self):
+        assert str(Dependency("a", "b")) == "a->b"
+
+
+class TestConstruction:
+    def test_duplicate_operation_rejected(self):
+        graph = AlgorithmGraph()
+        graph.add_comp("a")
+        with pytest.raises(AlgorithmGraphError):
+            graph.add_comp("a")
+
+    def test_dependency_requires_known_operations(self):
+        graph = AlgorithmGraph()
+        graph.add_comp("a")
+        with pytest.raises(AlgorithmGraphError):
+            graph.add_dependency("a", "ghost")
+        with pytest.raises(AlgorithmGraphError):
+            graph.add_dependency("ghost", "a")
+
+    def test_duplicate_dependency_rejected(self):
+        graph = chain(["a", "b"])
+        with pytest.raises(AlgorithmGraphError):
+            graph.add_dependency("a", "b")
+
+    def test_mem_shorthand_sets_initial_value(self):
+        graph = AlgorithmGraph()
+        mem = graph.add_mem("m", initial_value=2.0)
+        assert mem.kind is OperationKind.MEM
+        assert mem.initial_value == 2.0
+
+    def test_add_input_output_are_extios(self):
+        graph = AlgorithmGraph()
+        assert graph.add_input("i").kind is OperationKind.EXTIO
+        assert graph.add_output("o").kind is OperationKind.EXTIO
+
+
+class TestQueries:
+    def test_len_contains_iter(self):
+        graph = diamond()
+        assert len(graph) == 4
+        assert "A" in graph and "ghost" not in graph
+        assert [op.name for op in graph] == ["I", "A", "B", "O"]
+
+    def test_predecessors_successors_sorted(self):
+        graph = diamond()
+        assert graph.predecessors("O") == ["A", "B"]
+        assert graph.successors("I") == ["A", "B"]
+        assert graph.predecessors("I") == []
+        assert graph.successors("O") == []
+
+    def test_unknown_operation_raises(self):
+        graph = diamond()
+        with pytest.raises(AlgorithmGraphError):
+            graph.operation("ghost")
+        with pytest.raises(AlgorithmGraphError):
+            graph.predecessors("ghost")
+
+    def test_inputs_outputs(self):
+        graph = diamond()
+        assert graph.inputs == ["I"]
+        assert graph.outputs == ["O"]
+
+    def test_in_out_dependencies(self):
+        graph = diamond()
+        assert [d.key for d in graph.in_dependencies("O")] == [
+            ("A", "O"),
+            ("B", "O"),
+        ]
+        assert [d.key for d in graph.out_dependencies("I")] == [
+            ("I", "A"),
+            ("I", "B"),
+        ]
+
+    def test_dependency_lookup(self):
+        graph = diamond()
+        assert graph.dependency("I", "A").key == ("I", "A")
+        with pytest.raises(AlgorithmGraphError):
+            graph.dependency("A", "I")
+
+    def test_ancestors_descendants(self):
+        graph = diamond()
+        assert graph.ancestors("O") == {"I", "A", "B"}
+        assert graph.descendants("I") == {"A", "B", "O"}
+
+    def test_topological_order_is_lexicographic_among_ties(self):
+        graph = diamond()
+        order = graph.topological_order()
+        assert order[0] == "I" and order[-1] == "O"
+        assert order.index("A") < order.index("B")
+
+
+class TestValidation:
+    def test_empty_graph_invalid(self):
+        graph = AlgorithmGraph()
+        assert not graph.is_valid()
+        with pytest.raises(AlgorithmGraphError):
+            graph.check()
+
+    def test_cycle_detected(self):
+        graph = chain(["a", "b", "c"])
+        graph.add_dependency("c", "a")
+        assert not graph.is_valid()
+        with pytest.raises(AlgorithmGraphError, match="cycle"):
+            graph.check()
+
+    def test_valid_graph(self):
+        assert diamond().is_valid()
+
+
+class TestAnalysis:
+    def test_longest_path_length(self):
+        graph = diamond()
+        weight = {"I": 1.0, "A": 2.0, "B": 5.0, "O": 1.0}
+        assert graph.longest_path_length(weight) == pytest.approx(7.0)
+
+    def test_longest_path_single_node(self):
+        graph = AlgorithmGraph()
+        graph.add_comp("a")
+        assert graph.longest_path_length({"a": 3.0}) == pytest.approx(3.0)
+
+    def test_copy_is_independent(self):
+        graph = diamond()
+        clone = graph.copy()
+        clone.add_comp("extra")
+        assert "extra" not in graph
+        assert len(clone) == len(graph) + 1
+
+    def test_as_networkx_is_a_copy(self):
+        graph = diamond()
+        nx_graph = graph.as_networkx()
+        nx_graph.remove_node("I")
+        assert "I" in graph
+
+
+class TestChainHelper:
+    def test_chain_shape(self):
+        graph = chain(["a", "b", "c"])
+        assert graph.inputs == ["a"]
+        assert graph.outputs == ["c"]
+        assert graph.successors("a") == ["b"]
+
+    def test_repr_mentions_counts(self):
+        assert "operations=3" in repr(chain(["a", "b", "c"]))

@@ -1,0 +1,211 @@
+"""Unit tests for the architecture (processors + links) model."""
+
+import pytest
+
+from repro.graphs.architecture import (
+    Architecture,
+    ArchitectureError,
+    Link,
+    LinkKind,
+    Processor,
+    bus_architecture,
+    fully_connected_architecture,
+)
+
+
+def triangle():
+    return fully_connected_architecture(["P1", "P2", "P3"])
+
+
+def chain3():
+    arch = Architecture("chain")
+    for proc in ("P1", "P2", "P3"):
+        arch.add_processor(proc)
+    arch.add_link("L12", "P1", "P2")
+    arch.add_link("L23", "P2", "P3")
+    return arch
+
+
+class TestProcessorAndLink:
+    def test_processor_requires_name(self):
+        with pytest.raises(ArchitectureError):
+            Processor("")
+
+    def test_p2p_link_needs_two_endpoints(self):
+        with pytest.raises(ArchitectureError):
+            Link("l", frozenset({"a"}), LinkKind.POINT_TO_POINT)
+        with pytest.raises(ArchitectureError):
+            Link("l", frozenset({"a", "b", "c"}), LinkKind.POINT_TO_POINT)
+
+    def test_bus_needs_two_endpoints_minimum(self):
+        with pytest.raises(ArchitectureError):
+            Link("b", frozenset({"a"}), LinkKind.BUS)
+        bus = Link("b", frozenset({"a", "b", "c"}), LinkKind.BUS)
+        assert bus.is_bus
+
+    def test_connects(self):
+        link = Link("l", frozenset({"a", "b"}), LinkKind.POINT_TO_POINT)
+        assert link.connects("a", "b")
+        assert not link.connects("a", "c")
+
+
+class TestConstruction:
+    def test_duplicate_processor_rejected(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        with pytest.raises(ArchitectureError):
+            arch.add_processor("P1")
+
+    def test_duplicate_link_rejected(self):
+        arch = chain3()
+        with pytest.raises(ArchitectureError):
+            arch.add_link("L12", "P1", "P3")
+
+    def test_link_requires_known_processors(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        with pytest.raises(ArchitectureError):
+            arch.add_link("l", "P1", "ghost")
+
+    def test_bus_helper(self):
+        arch = bus_architecture(["P1", "P2", "P3"])
+        assert arch.is_single_bus
+        assert arch.has_bus
+        (link,) = arch.links
+        assert link.endpoints == frozenset({"P1", "P2", "P3"})
+
+    def test_fully_connected_helper_names(self):
+        arch = triangle()
+        assert sorted(arch.link_names) == ["L1.2", "L1.3", "L2.3"]
+        assert not arch.has_bus
+
+
+class TestQueries:
+    def test_links_of(self):
+        arch = chain3()
+        assert [l.name for l in arch.links_of("P2")] == ["L12", "L23"]
+        assert [l.name for l in arch.links_of("P1")] == ["L12"]
+
+    def test_links_between(self):
+        arch = chain3()
+        assert [l.name for l in arch.links_between("P1", "P2")] == ["L12"]
+        assert arch.links_between("P1", "P3") == []
+
+    def test_neighbors(self):
+        arch = chain3()
+        assert arch.neighbors("P2") == ["P1", "P3"]
+        assert arch.neighbors("P1") == ["P2"]
+
+    def test_neighbors_on_bus(self):
+        arch = bus_architecture(["P1", "P2", "P3"])
+        assert arch.neighbors("P1") == ["P2", "P3"]
+
+    def test_communication_units(self):
+        arch = chain3()
+        units = [str(u) for u in arch.communication_units()]
+        assert units == ["P1.L12", "P2.L12", "P2.L23", "P3.L23"]
+
+    def test_unknown_lookup_raises(self):
+        arch = chain3()
+        with pytest.raises(ArchitectureError):
+            arch.processor("ghost")
+        with pytest.raises(ArchitectureError):
+            arch.link("ghost")
+
+    def test_is_single_bus_excludes_partial_bus(self):
+        arch = Architecture()
+        for proc in ("P1", "P2", "P3"):
+            arch.add_processor(proc)
+        arch.add_bus("b", ["P1", "P2"])
+        arch.add_link("l", "P2", "P3")
+        assert arch.has_bus
+        assert not arch.is_single_bus
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert chain3().is_connected()
+        assert triangle().is_connected()
+
+    def test_disconnected(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        assert not arch.is_connected()
+
+    def test_single_processor_connected(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        assert arch.is_connected()
+
+    def test_connectivity_after_failures_chain(self):
+        arch = chain3()
+        # Losing the middle relay splits the chain.
+        assert not arch.connectivity_after_failures({"P2"})
+        assert arch.connectivity_after_failures({"P1"})
+        assert arch.connectivity_after_failures({"P3"})
+
+    def test_connectivity_after_failures_triangle(self):
+        arch = triangle()
+        for proc in ("P1", "P2", "P3"):
+            assert arch.connectivity_after_failures({proc})
+
+    def test_connectivity_after_all_but_one(self):
+        assert chain3().connectivity_after_failures({"P1", "P2"})
+
+
+class TestValidation:
+    def test_no_processor_invalid(self):
+        with pytest.raises(ArchitectureError):
+            Architecture().check()
+
+    def test_multi_processor_without_links_invalid(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        with pytest.raises(ArchitectureError):
+            arch.check()
+
+    def test_valid(self):
+        chain3().check()
+        assert chain3().is_valid()
+
+    def test_copy_is_independent(self):
+        arch = chain3()
+        clone = arch.copy()
+        clone.add_processor("P4")
+        assert "P4" not in arch
+
+    def test_routing_graph_bus_is_clique(self):
+        arch = bus_architecture(["P1", "P2", "P3"])
+        graph = arch.routing_graph()
+        assert graph.has_edge("P1", "P3")
+        assert graph.has_edge("P1", "P2")
+        assert graph.has_edge("P2", "P3")
+
+
+class TestCutProcessors:
+    def test_chain_middle_is_a_cut(self):
+        assert chain3().cut_processors() == ["P2"]
+
+    def test_bus_has_no_cut(self):
+        assert bus_architecture(["P1", "P2", "P3"]).cut_processors() == []
+
+    def test_triangle_has_no_cut(self):
+        assert triangle().cut_processors() == []
+
+    def test_two_processors_have_no_cut(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        arch.add_link("L", "P1", "P2")
+        assert arch.cut_processors() == []
+
+    def test_long_chain_has_all_inner_cuts(self):
+        arch = Architecture()
+        for proc in ("A", "B", "C", "D"):
+            arch.add_processor(proc)
+        arch.add_link("L1", "A", "B")
+        arch.add_link("L2", "B", "C")
+        arch.add_link("L3", "C", "D")
+        assert arch.cut_processors() == ["B", "C"]

@@ -1,0 +1,150 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import save_problem
+from repro.paper.examples import first_example_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    save_problem(first_example_problem(failures=1), path)
+    return str(path)
+
+
+class TestScheduleCommand:
+    def test_schedule_solution1(self, problem_file, capsys):
+        assert main(["schedule", problem_file, "--method", "solution1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan: 9.4" in out
+        assert "validation: ok" in out
+
+    def test_schedule_with_gantt(self, problem_file, capsys):
+        main(["schedule", problem_file, "--method", "solution1", "--gantt"])
+        out = capsys.readouterr().out
+        assert "P1" in out and "bus" in out
+
+    def test_schedule_json_output(self, problem_file, capsys):
+        main(["schedule", problem_file, "--method", "baseline", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["semantics"] == "baseline"
+
+
+class TestSimulateCommand:
+    def test_failure_free(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--method", "solution1"]) == 0
+        assert "completed: True" in capsys.readouterr().out
+
+    def test_crash_scenario(self, problem_file, capsys):
+        main(
+            [
+                "simulate", problem_file, "--method", "solution1",
+                "--crash", "P2@3.0",
+            ]
+        )
+        assert "completed: True" in capsys.readouterr().out
+
+    def test_multi_iteration(self, problem_file, capsys):
+        main(
+            [
+                "simulate", problem_file, "--method", "solution1",
+                "--crash", "P2@3.0", "--iterations", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "transient" in out and "subsequent" in out
+
+    def test_pipelined_mode(self, problem_file, capsys):
+        main(
+            [
+                "simulate", problem_file, "--method", "baseline",
+                "--period", "9.6", "--iterations", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "pipelined run" in out
+        assert "sustainable: True" in out
+
+    def test_dead_from_start_syntax(self, problem_file, capsys):
+        main(["simulate", problem_file, "--method", "solution2", "--crash", "P2"])
+        assert "completed: True" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_compare(self, problem_file, capsys):
+        assert main(["compare", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "baseline makespan" in out
+        assert "solution1" in out and "solution2" in out
+
+    def test_certify_pass(self, problem_file, capsys):
+        assert main(["certify", problem_file, "--method", "solution1"]) == 0
+        assert "certified: True" in capsys.readouterr().out
+
+    def test_certify_fail_for_baseline(self, problem_file, capsys):
+        assert main(["certify", problem_file, "--method", "baseline"]) == 1
+        assert "certified: False" in capsys.readouterr().out
+
+    def test_paper_command(self, capsys):
+        assert main(["paper", "--which", "first"]) == 0
+        out = capsys.readouterr().out
+        assert "9.4" in out and "8.6" in out
+        assert "NO" not in out  # every row matches
+
+    def test_figures_command(self, tmp_path, capsys):
+        outdir = tmp_path / "figures"
+        assert main(["figures", str(outdir)]) == 0
+        out = capsys.readouterr().out
+        assert "17 artifacts" in out
+        assert (outdir / "summary.txt").exists()
+        assert (outdir / "fig17_solution1.svg").exists()
+
+    def test_export_example(self, tmp_path, capsys):
+        target = tmp_path / "exported.json"
+        assert main(["export-example", str(target), "--which", "second"]) == 0
+        data = json.loads(target.read_text())
+        assert data["failures"] == 1
+        assert len(data["architecture"]["links"]) == 3
+
+    def test_schedule_executive_output(self, problem_file, capsys):
+        main(["schedule", problem_file, "--method", "solution1", "--executive"])
+        out = capsys.readouterr().out
+        assert "executive for P1" in out
+        assert "WATCHDOG" in out
+
+    def test_advise(self, problem_file, capsys):
+        assert main(["advise", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "measured recommendation: solution1" in out
+        assert "PASS" in out
+
+    def test_schedule_svg_output(self, problem_file, tmp_path, capsys):
+        target = tmp_path / "schedule.svg"
+        main(["schedule", problem_file, "--method", "solution1",
+              "--svg", str(target)])
+        assert target.read_text().startswith("<svg")
+
+    def test_aaa_text_format_end_to_end(self, tmp_path, capsys):
+        target = tmp_path / "example.aaa"
+        assert main(["export-example", str(target), "--which", "first"]) == 0
+        capsys.readouterr()
+        assert main(["schedule", str(target), "--method", "solution1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan: 9.4" in out
+
+    def test_best_of_improves_or_matches(self, problem_file, capsys):
+        main(["schedule", problem_file, "--method", "baseline"])
+        base = capsys.readouterr().out
+        main(["schedule", problem_file, "--method", "baseline", "--best-of", "16"])
+        best = capsys.readouterr().out
+
+        def makespan(text):
+            marker = "makespan: "
+            return float(text.split(marker)[1].split()[0])
+
+        assert makespan(best) <= makespan(base)

@@ -1,0 +1,112 @@
+"""Tests for the executive macro-code generator."""
+
+import pytest
+
+from repro.codegen import (
+    Opcode,
+    generate_executive,
+    render_executive,
+    render_program,
+)
+
+
+class TestStructure:
+    def test_one_program_per_processor(self, bus_solution1):
+        programs = generate_executive(bus_solution1.schedule)
+        assert sorted(programs) == ["P1", "P2", "P3"]
+
+    def test_one_exec_per_replica(self, bus_solution1):
+        programs = generate_executive(bus_solution1.schedule)
+        execs = sum(
+            len(p.instructions(Opcode.EXEC)) for p in programs.values()
+        )
+        assert execs == len(bus_solution1.schedule.all_replicas())
+
+    def test_one_send_per_planned_frame(self, bus_solution1):
+        programs = generate_executive(bus_solution1.schedule)
+        sends = sum(
+            len(p.instructions(Opcode.SEND)) for p in programs.values()
+        )
+        hop0 = [s for s in bus_solution1.schedule.comms if s.hop == 0]
+        assert sends == len(hop0)
+
+    def test_sends_belong_to_main_replicas_in_solution1(self, bus_solution1):
+        programs = generate_executive(bus_solution1.schedule)
+        for proc, program in programs.items():
+            for instruction in program.instructions(Opcode.SEND):
+                dep = instruction.args[0]
+                main = bus_solution1.schedule.main_replica(dep[0])
+                assert main.processor == proc
+
+    def test_watchdogs_on_backup_processors(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        programs = generate_executive(schedule)
+        watchdogs = {
+            (ins.args[0], proc)
+            for proc, program in programs.items()
+            for ins in program.instructions(Opcode.WATCHDOG)
+        }
+        expected = {
+            (entry.dependency, entry.watcher) for entry in schedule.timeouts
+        }
+        assert watchdogs == expected
+
+    def test_recv_for_every_remote_input(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        programs = generate_executive(schedule)
+        algorithm = schedule.problem.algorithm
+        for proc, program in programs.items():
+            recvs = {ins.args[0] for ins in program.instructions(Opcode.RECV)}
+            expected = set()
+            for placement in schedule.processor_timeline(proc):
+                for pred in algorithm.predecessors(placement.op):
+                    if schedule.replica_on(pred, proc) is None:
+                        expected.add((pred, placement.op))
+            assert recvs == expected
+
+    def test_exec_order_matches_timeline(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        programs = generate_executive(schedule)
+        for proc, program in programs.items():
+            ops = [ins.args[0] for ins in program.computation
+                   if ins.opcode is Opcode.EXEC]
+            timeline = [r.op for r in schedule.processor_timeline(proc)]
+            assert ops == timeline
+
+
+class TestSemanticsVariants:
+    def test_baseline_has_no_watchdogs(self, bus_baseline):
+        programs = generate_executive(bus_baseline.schedule)
+        for program in programs.values():
+            assert program.instructions(Opcode.WATCHDOG) == []
+
+    def test_solution2_has_no_watchdogs_but_replica_sends(self, p2p_solution2):
+        programs = generate_executive(p2p_solution2.schedule)
+        total_sends = 0
+        for program in programs.values():
+            assert program.instructions(Opcode.WATCHDOG) == []
+            total_sends += len(program.instructions(Opcode.SEND))
+        deps = len(p2p_solution2.schedule.problem.algorithm.dependencies)
+        assert total_sends > deps  # replicated comms
+
+
+class TestRendering:
+    def test_render_program_sections(self, bus_solution1):
+        programs = generate_executive(bus_solution1.schedule)
+        text = render_program(programs["P2"])
+        assert "executive for P2" in text
+        assert "computation unit" in text
+        assert "communication unit" in text
+        assert "EXEC" in text
+
+    def test_render_executive_full(self, bus_solution1):
+        text = render_executive(bus_solution1.schedule)
+        for proc in ("P1", "P2", "P3"):
+            assert f"executive for {proc}" in text
+        assert "WATCHDOG" in text
+        assert "macro-instructions" in text
+
+    def test_watchdog_render_shows_ladder(self, bus_solution1):
+        text = render_executive(bus_solution1.schedule)
+        assert "ladder [" in text
+        assert "takeover to" in text

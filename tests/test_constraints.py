@@ -1,0 +1,154 @@
+"""Unit tests for the distribution-constraint tables."""
+
+import math
+
+import pytest
+
+from repro.graphs.algorithm import chain
+from repro.graphs.architecture import bus_architecture
+from repro.graphs.constraints import (
+    INFINITY,
+    CommunicationTable,
+    ConstraintError,
+    ExecutionTable,
+)
+
+
+class TestExecutionTable:
+    def test_from_rows_matches_paper_layout(self):
+        table = ExecutionTable.from_rows(
+            {"I": {"P1": 1.0, "P2": 1.0, "P3": INFINITY}}
+        )
+        assert table.duration("I", "P1") == 1.0
+        assert math.isinf(table.duration("I", "P3"))
+
+    def test_missing_entry_is_infinity(self):
+        table = ExecutionTable()
+        assert math.isinf(table.duration("x", "P1"))
+        assert not table.can_execute("x", "P1")
+
+    def test_uniform(self):
+        table = ExecutionTable.uniform(["a", "b"], ["P1", "P2"], 2.5)
+        assert table.duration("b", "P2") == 2.5
+
+    def test_invalid_durations_rejected(self):
+        table = ExecutionTable()
+        with pytest.raises(ConstraintError):
+            table.set_duration("a", "P1", 0.0)
+        with pytest.raises(ConstraintError):
+            table.set_duration("a", "P1", -1.0)
+        with pytest.raises(ConstraintError):
+            table.set_duration("a", "P1", float("nan"))
+
+    def test_infinity_allowed(self):
+        table = ExecutionTable()
+        table.set_duration("a", "P1", INFINITY)
+        assert not table.can_execute("a", "P1")
+
+    def test_allowed_processors(self):
+        table = ExecutionTable.from_rows(
+            {"a": {"P1": 1.0, "P2": INFINITY, "P3": 2.0}}
+        )
+        assert table.allowed_processors("a", ["P1", "P2", "P3"]) == ["P1", "P3"]
+
+    def test_estimate_modes(self):
+        table = ExecutionTable.from_rows(
+            {"a": {"P1": 1.0, "P2": 3.0, "P3": INFINITY}}
+        )
+        procs = ["P1", "P2", "P3"]
+        assert table.estimate("a", procs, "average") == pytest.approx(2.0)
+        assert table.estimate("a", procs, "min") == 1.0
+        assert table.estimate("a", procs, "max") == 3.0
+        with pytest.raises(ConstraintError):
+            table.estimate("a", procs, "median")
+
+    def test_estimate_requires_somewhere_executable(self):
+        table = ExecutionTable()
+        with pytest.raises(ConstraintError):
+            table.estimate("a", ["P1"])
+
+    def test_check_complete(self):
+        algorithm = chain(["a", "b"])
+        architecture = bus_architecture(["P1", "P2"])
+        table = ExecutionTable.uniform(["a"], ["P1", "P2"])
+        with pytest.raises(ConstraintError, match="'b'"):
+            table.check_complete(algorithm, architecture)
+        table.set_duration("b", "P1", 1.0)
+        table.check_complete(algorithm, architecture)
+
+    def test_copy_independent(self):
+        table = ExecutionTable.uniform(["a"], ["P1"])
+        clone = table.copy()
+        clone.set_duration("a", "P2", 1.0)
+        assert not table.can_execute("a", "P2")
+
+
+class TestCommunicationTable:
+    def make(self):
+        return CommunicationTable.uniform_per_dependency(
+            {("a", "b"): 0.5, ("b", "c"): 1.5}, ["bus", "L1"]
+        )
+
+    def test_uniform_per_dependency(self):
+        table = self.make()
+        assert table.duration(("a", "b"), "bus") == 0.5
+        assert table.duration(("a", "b"), "L1") == 0.5
+        assert table.duration(("b", "c"), "bus") == 1.5
+
+    def test_from_rows(self):
+        table = CommunicationTable.from_rows({"bus": {("a", "b"): 0.25}})
+        assert table.duration(("a", "b"), "bus") == 0.25
+
+    def test_missing_entry_raises(self):
+        table = self.make()
+        with pytest.raises(ConstraintError):
+            table.duration(("a", "c"), "bus")
+        assert not table.has_duration(("a", "c"), "bus")
+
+    def test_zero_duration_allowed(self):
+        table = CommunicationTable()
+        table.set_duration(("a", "b"), "bus", 0.0)
+        assert table.duration(("a", "b"), "bus") == 0.0
+
+    def test_negative_duration_rejected(self):
+        table = CommunicationTable()
+        with pytest.raises(ConstraintError):
+            table.set_duration(("a", "b"), "bus", -0.5)
+
+    def test_dependency_object_accepted(self):
+        algorithm = chain(["a", "b"])
+        dep = algorithm.dependency("a", "b")
+        table = CommunicationTable()
+        table.set_duration(dep, "bus", 0.75)
+        assert table.duration(dep, "bus") == 0.75
+        assert table.duration(("a", "b"), "bus") == 0.75
+
+    def test_estimate(self):
+        table = CommunicationTable()
+        table.set_duration(("a", "b"), "l1", 1.0)
+        table.set_duration(("a", "b"), "l2", 3.0)
+        links = ["l1", "l2"]
+        assert table.estimate(("a", "b"), links, "average") == pytest.approx(2.0)
+        assert table.estimate(("a", "b"), links, "min") == 1.0
+        assert table.estimate(("a", "b"), links, "max") == 3.0
+        with pytest.raises(ConstraintError):
+            table.estimate(("a", "b"), links, "mode")
+        with pytest.raises(ConstraintError):
+            table.estimate(("x", "y"), links)
+
+    def test_check_complete(self):
+        algorithm = chain(["a", "b", "c"])
+        architecture = bus_architecture(["P1", "P2"])
+        table = CommunicationTable.uniform_per_dependency(
+            {("a", "b"): 0.5}, architecture.link_names
+        )
+        with pytest.raises(ConstraintError, match="b->c"):
+            table.check_complete(algorithm, architecture)
+        table.set_duration(("b", "c"), "bus", 0.5)
+        table.check_complete(algorithm, architecture)
+
+    def test_copy_independent(self):
+        table = self.make()
+        clone = table.copy()
+        clone.set_duration(("x", "y"), "bus", 9.0)
+        assert not table.has_duration(("x", "y"), "bus")

@@ -1,0 +1,130 @@
+"""Unit tests for the post-failure (subsequent) schedule — Figure 18(b)."""
+
+import pytest
+
+from repro.core.degrade import DegradationError, degraded_schedule
+from repro.core.schedule import ScheduleSemantics
+from repro.core.solution1 import schedule_solution1
+from repro.graphs.generators import random_bus_problem
+from repro.sim import FailureScenario, simulate
+
+
+class TestStructure:
+    def test_dead_processor_empty(self, bus_solution1):
+        degraded = degraded_schedule(bus_solution1.schedule, {"P2"})
+        assert degraded.processor_timeline("P2") == []
+
+    def test_every_operation_survives(self, bus_solution1, bus_problem):
+        degraded = degraded_schedule(bus_solution1.schedule, {"P2"})
+        assert sorted(degraded.operations) == sorted(
+            bus_problem.algorithm.operation_names
+        )
+
+    def test_surviving_placements_keep_their_processor(self, bus_solution1):
+        original = bus_solution1.schedule
+        degraded = degraded_schedule(original, {"P2"})
+        for op in degraded.operations:
+            degraded_procs = set(degraded.processors_of(op))
+            original_procs = set(original.processors_of(op)) - {"P2"}
+            assert degraded_procs == original_procs
+
+    def test_main_is_smallest_surviving_rank(self, bus_solution1):
+        """The statically agreed candidate order decides the new main
+        (Section 6.1 item 4), not a fresh election."""
+        original = bus_solution1.schedule
+        degraded = degraded_schedule(original, {"P2"})
+        for op in degraded.operations:
+            surviving_order = [
+                r.processor
+                for r in original.replicas(op)
+                if r.processor != "P2"
+            ]
+            assert degraded.main_replica(op).processor == surviving_order[0]
+
+    def test_beyond_tolerance_raises(self, bus_solution1):
+        # I has replicas on P1 and P2 only.
+        with pytest.raises(DegradationError, match="'I'"):
+            degraded_schedule(bus_solution1.schedule, {"P1", "P2"})
+
+    def test_unknown_processor_rejected(self, bus_solution1):
+        with pytest.raises(DegradationError):
+            degraded_schedule(bus_solution1.schedule, {"P9"})
+
+    def test_empty_pattern_reproduces_plan(self, bus_solution1):
+        degraded = degraded_schedule(bus_solution1.schedule, set())
+        assert degraded.makespan == pytest.approx(bus_solution1.makespan)
+        assert len(degraded.comms) == len(bus_solution1.schedule.comms)
+
+
+class TestSection64Claim:
+    """Section 6.4: after a failure, the (subsequent) schedule carries
+    fewer inter-processor communications than the initial one."""
+
+    @pytest.mark.parametrize("victim", ["P1", "P2", "P3"])
+    def test_fewer_or_equal_comms_paper_example(self, bus_solution1, victim):
+        original = bus_solution1.schedule
+        degraded = degraded_schedule(original, {victim})
+        assert (
+            degraded.inter_processor_message_count()
+            <= original.inter_processor_message_count()
+        )
+
+    def test_fewer_or_equal_comms_random(self):
+        for seed in range(4):
+            problem = random_bus_problem(
+                operations=10, processors=4, failures=1, seed=seed
+            )
+            schedule = schedule_solution1(problem).schedule
+            for victim in problem.architecture.processor_names:
+                degraded = degraded_schedule(schedule, {victim})
+                assert (
+                    degraded.inter_processor_message_count()
+                    <= schedule.inter_processor_message_count()
+                )
+
+
+class TestSolution2Degradation:
+    def test_solution2_supported(self, p2p_solution2):
+        degraded = degraded_schedule(p2p_solution2.schedule, {"P2"})
+        assert degraded.semantics is ScheduleSemantics.SOLUTION2
+        assert degraded.processor_timeline("P2") == []
+        # Redundant copies toward the dead processor are gone.
+        for slot in degraded.comms:
+            assert "P2" not in slot.destinations
+            assert slot.sender != "P2"
+
+
+class TestTimeouts:
+    def test_singleton_ops_lose_their_ladders(self, bus_solution1):
+        degraded = degraded_schedule(bus_solution1.schedule, {"P2"})
+        for entry in degraded.timeouts:
+            assert len(degraded.replicas(entry.op)) >= 2
+
+    def test_k2_keeps_ladders_after_one_failure(self):
+        problem = random_bus_problem(
+            operations=8, processors=4, failures=2, seed=5
+        )
+        schedule = schedule_solution1(problem).schedule
+        victim = problem.architecture.processor_names[0]
+        degraded = degraded_schedule(schedule, {victim})
+        # Some operation still has 2 replicas, hence a ladder.
+        assert any(
+            len(degraded.replicas(op)) >= 2 for op in degraded.operations
+        )
+
+
+class TestDynamicAgreement:
+    def test_degraded_makespan_matches_known_dead_simulation(
+        self, bus_solution1
+    ):
+        """The static subsequent schedule and the simulated
+        known-failure iteration tell the same story."""
+        degraded = degraded_schedule(bus_solution1.schedule, {"P2"})
+        trace = simulate(
+            bus_solution1.schedule,
+            FailureScenario.dead_from_start("P2", known=True),
+        )
+        assert trace.completed
+        # The simulation is event-triggered on the computation side, so
+        # it can only be as fast or faster than the static worst case.
+        assert trace.response_time <= degraded.makespan + 1e-6

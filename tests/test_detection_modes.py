@@ -1,0 +1,103 @@
+"""Detection-mode semantics: bus snooping vs oracle observation.
+
+Solution 1's failure detection relies on *observing* the presumed
+main's sends.  On a bus every member physically sees every frame
+(``snoop``); on point-to-point links nobody does, and the paper says
+proper detection there "is similar to a Byzantine agreement problem".
+The executive models that gap: ``snoop`` only counts bus frames as
+observable, ``oracle`` idealizes an agreement substrate.  These tests
+pin the consequences down, including on the paper's Figure 8 chain
+architecture (multi-hop routing through P2).
+"""
+
+import pytest
+
+from repro.core.solution1 import schedule_solution1
+from repro.core.validate import certify_fault_tolerance
+from repro.paper.examples import (
+    figure8_problem,
+    second_example_problem,
+)
+from repro.sim import FailureScenario, simulate
+
+
+@pytest.fixture(scope="module")
+def sol1_on_p2p():
+    """Solution 1 scheduled on the fully connected architecture —
+    the combination the paper advises against."""
+    return schedule_solution1(second_example_problem(failures=1)).schedule
+
+
+class TestOracleOnPointToPoint:
+    def test_failure_free_with_oracle(self, sol1_on_p2p):
+        trace = simulate(sol1_on_p2p, detection="oracle")
+        assert trace.completed
+        assert trace.detections == []
+
+    @pytest.mark.parametrize("victim", ["P1", "P2", "P3"])
+    def test_crash_covered_with_oracle(self, sol1_on_p2p, victim):
+        """With an idealized agreement substrate, Solution 1 works on
+        point-to-point links too."""
+        trace = simulate(
+            sol1_on_p2p,
+            FailureScenario.crash(victim, at=2.0),
+            detection="oracle",
+        )
+        assert trace.completed, victim
+
+    def test_default_detection_on_p2p_is_oracle(self, sol1_on_p2p):
+        """Auto mode picks oracle when there is no bus to snoop."""
+        trace = simulate(sol1_on_p2p, FailureScenario.crash("P2", at=2.0))
+        assert trace.completed
+
+
+class TestSnoopRequiresABus:
+    def test_snoop_on_p2p_may_strand_consumers(self, sol1_on_p2p):
+        """Forcing snoop semantics without a bus: watchdogs never
+        observe remote frames, so they take over even when the main is
+        healthy — wasteful duplicates — and, when a main really dies,
+        consumers can still be served.  The important invariant is
+        that outputs survive; the redundant traffic is the cost the
+        paper's architecture-matching rule avoids."""
+        healthy = simulate(sol1_on_p2p, detection="snoop")
+        assert healthy.completed
+        crashed = simulate(
+            sol1_on_p2p, FailureScenario.crash("P2", at=2.0), detection="snoop"
+        )
+        assert crashed.completed
+
+    def test_snoop_on_bus_observes(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule, detection="snoop")
+        assert trace.completed
+        assert trace.detections == []
+
+
+class TestFigure8Chain:
+    """The routed architecture of Figure 8 (P1 - P2 - P3)."""
+
+    @pytest.fixture(scope="class")
+    def chain_schedule(self):
+        return schedule_solution1(figure8_problem(failures=1)).schedule
+
+    def test_schedules_with_multi_hop_comms(self, chain_schedule):
+        # Some dependency must be relayed over two links.
+        assert chain_schedule.makespan > 0
+        links_used = {slot.link for slot in chain_schedule.comms}
+        assert links_used <= {"L1.2", "L2.3"}
+
+    def test_certifier_flags_the_relay(self, chain_schedule):
+        """P2 is an articulation point of the chain: the certifier
+        decides whether this particular schedule survives its death
+        (replicas may or may not be segment-local), and the simulator
+        must agree either way."""
+        report = certify_fault_tolerance(chain_schedule)
+        verdicts = {
+            frozenset(o.failed): o.ok for o in report.outcomes if o.failed
+        }
+        for victim in ("P1", "P2", "P3"):
+            trace = simulate(
+                chain_schedule,
+                FailureScenario.dead_from_start(victim),
+                detection="oracle",
+            )
+            assert trace.completed == verdicts[frozenset({victim})], victim

@@ -1,0 +1,140 @@
+"""Property-based tests for the simulation kernel itself."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Delay, Simulator, Wait, WaitAny
+
+FAST = settings(max_examples=50, deadline=None)
+
+
+class TestTimerOrdering:
+    @FAST
+    @given(
+        dates=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_callbacks_fire_in_nondecreasing_time_order(self, dates):
+        sim = Simulator()
+        fired = []
+        for date in dates:
+            sim.call_at(date, lambda d=date: fired.append((sim.now, d)))
+        sim.run()
+        observed = [now for now, _ in fired]
+        assert observed == sorted(observed)
+        assert sorted(d for _, d in fired) == sorted(dates)
+
+    @FAST
+    @given(
+        dates=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_final_time_is_latest_callback(self, dates):
+        sim = Simulator()
+        for date in dates:
+            sim.call_at(date, lambda: None)
+        assert sim.run() == pytest.approx(max(dates))
+
+
+class TestProcessDelays:
+    @FAST
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_delays_accumulate_exactly(self, delays):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            for delay in delays:
+                yield Delay(delay)
+                seen.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        expected = []
+        total = 0.0
+        for delay in delays:
+            total += delay
+            expected.append(total)
+        assert seen == pytest.approx(expected)
+
+
+class TestEventSemantics:
+    @FAST
+    @given(
+        fire_at=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        wait_from=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        value=st.integers(),
+    )
+    def test_wait_gets_the_value_regardless_of_ordering(
+        self, fire_at, wait_from, value
+    ):
+        """Level-triggered events: waiting before or after the fire
+        date yields the same value; resume time is max(fire, wait)."""
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            yield Delay(wait_from)
+            received = yield Wait(event)
+            got.append((sim.now, received))
+
+        sim.process(waiter())
+        sim.call_at(fire_at, lambda: sim.fire(event, value))
+        sim.run()
+        (resumed_at, received) = got[0]
+        assert received == value
+        assert resumed_at == pytest.approx(max(fire_at, wait_from))
+
+    @FAST
+    @given(
+        deadline=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        fire_at=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    )
+    def test_waitany_outcome_matches_the_race(self, deadline, fire_at):
+        sim = Simulator()
+        event = sim.event()
+        outcomes = []
+
+        def waiter():
+            outcome = yield WaitAny((event,), deadline=deadline)
+            outcomes.append((sim.now, outcome))
+
+        sim.process(waiter())
+        sim.call_at(fire_at, lambda: sim.fire(event))
+        sim.run()
+        resumed_at, outcome = outcomes[0]
+        if fire_at < deadline:
+            assert outcome == 0
+            assert resumed_at == pytest.approx(fire_at)
+        elif fire_at > deadline:
+            assert outcome is None
+            assert resumed_at == pytest.approx(deadline)
+        # Exact ties resolve by scheduling order: either answer is
+        # acceptable, but exactly one resume must have happened.
+        assert len(outcomes) == 1
+
+    @FAST
+    @given(values=st.lists(st.integers(), min_size=2, max_size=8))
+    def test_first_fire_wins_always(self, values):
+        sim = Simulator()
+        event = sim.event()
+        for index, value in enumerate(values):
+            sim.call_at(float(index), lambda v=value: sim.fire(event, v))
+        sim.run()
+        assert event.value == values[0]

@@ -1,0 +1,106 @@
+"""Tests for the experiment-grid runner."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    CellResult,
+    ExperimentGrid,
+    aggregate,
+    results_to_csv,
+    run_grid,
+)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        grid = ExperimentGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        cells = list(grid)
+        assert len(cells) == len(grid) == 6
+        assert {"a": 1, "b": "x"} in cells
+        assert {"a": 2, "b": "z"} in cells
+
+    def test_single_axis(self):
+        grid = ExperimentGrid({"seed": range(3)})
+        assert [cell["seed"] for cell in grid] == [0, 1, 2]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid({"a": []})
+        with pytest.raises(ValueError):
+            ExperimentGrid({})
+
+
+class TestRunGrid:
+    def test_runner_receives_params_and_returns_metrics(self):
+        grid = ExperimentGrid({"x": [1, 2, 3]})
+        records = run_grid(grid, lambda cell: {"square": cell["x"] ** 2})
+        assert [r.metrics["square"] for r in records] == [1, 4, 9]
+        assert records[0].params == {"x": 1}
+
+    def test_on_cell_callback(self):
+        seen = []
+        grid = ExperimentGrid({"x": [1, 2]})
+        run_grid(grid, lambda cell: {"v": cell["x"]}, on_cell=seen.append)
+        assert len(seen) == 2
+        assert isinstance(seen[0], CellResult)
+
+    def test_with_real_scheduler(self):
+        """End-to-end: sweep K over the paper example."""
+        from repro.core.list_scheduler import best_over_seeds
+        from repro.core.solution1 import Solution1Scheduler
+        from repro.paper.examples import first_example_problem
+
+        grid = ExperimentGrid({"failures": [0, 1]})
+
+        def runner(cell):
+            problem = first_example_problem(failures=cell["failures"])
+            result = best_over_seeds(Solution1Scheduler, problem, attempts=16)
+            return {"makespan": result.makespan}
+
+        records = run_grid(grid, runner)
+        by_k = aggregate(records, group_by=("failures",), metric="makespan")
+        assert by_k[(1,)] >= by_k[(0,)]
+
+
+class TestAggregate:
+    @pytest.fixture
+    def records(self):
+        return [
+            CellResult({"k": 0, "seed": 0}, {"m": 1.0}),
+            CellResult({"k": 0, "seed": 1}, {"m": 3.0}),
+            CellResult({"k": 1, "seed": 0}, {"m": 10.0}),
+        ]
+
+    def test_mean(self, records):
+        assert aggregate(records, ("k",), "m") == {(0,): 2.0, (1,): 10.0}
+
+    def test_min_max(self, records):
+        assert aggregate(records, ("k",), "m", "min")[(0,)] == 1.0
+        assert aggregate(records, ("k",), "m", "max")[(0,)] == 3.0
+
+    def test_group_by_multiple_axes(self, records):
+        grouped = aggregate(records, ("k", "seed"), "m")
+        assert grouped[(0, 1)] == 3.0
+
+    def test_unknown_reducer(self, records):
+        with pytest.raises(ValueError):
+            aggregate(records, ("k",), "m", "mode")
+
+    def test_unknown_metric(self, records):
+        with pytest.raises(KeyError):
+            aggregate(records, ("k",), "nope")
+
+
+class TestCsv:
+    def test_round_shape(self):
+        records = [
+            CellResult({"k": 0}, {"m": 1.5}),
+            CellResult({"k": 1}, {"m": 2.5}),
+        ]
+        text = results_to_csv(records)
+        lines = text.strip().splitlines()
+        assert lines[0] == "k,m"
+        assert lines[1] == "0,1.5"
+
+    def test_empty(self):
+        assert results_to_csv([]) == ""

@@ -1,0 +1,105 @@
+"""Unit tests for failure scenarios."""
+
+import math
+
+import pytest
+
+from repro.sim.faults import Crash, FailureScenario
+
+
+class TestCrash:
+    def test_permanent_by_default(self):
+        crash = Crash("P1", at=2.0)
+        assert crash.is_permanent
+        assert crash.alive_at(1.9)
+        assert not crash.alive_at(2.0)
+        assert not crash.alive_at(1000.0)
+
+    def test_intermittent_window(self):
+        crash = Crash("P1", at=2.0, until=5.0)
+        assert not crash.is_permanent
+        assert crash.alive_at(1.0)
+        assert not crash.alive_at(3.0)
+        assert crash.alive_at(5.0)
+
+    def test_invalid_dates_rejected(self):
+        with pytest.raises(ValueError):
+            Crash("P1", at=-1.0)
+        with pytest.raises(ValueError):
+            Crash("P1", at=3.0, until=2.0)
+
+    def test_str(self):
+        assert "crashes at 2.0" in str(Crash("P1", 2.0))
+        assert "silent" in str(Crash("P1", 2.0, 4.0))
+
+
+class TestFailureScenario:
+    def test_none(self):
+        scenario = FailureScenario.none()
+        assert scenario.failed_processors == frozenset()
+        assert scenario.alive_at("P1", 100.0)
+
+    def test_crash_constructor(self):
+        scenario = FailureScenario.crash("P2", at=3.0)
+        assert scenario.failed_processors == {"P2"}
+        assert scenario.alive_at("P2", 2.9)
+        assert not scenario.alive_at("P2", 3.0)
+        assert scenario.alive_at("P1", 3.0)
+        assert scenario.known_failed == frozenset()
+
+    def test_dead_from_start(self):
+        scenario = FailureScenario.dead_from_start("P2")
+        assert not scenario.alive_at("P2", 0.0)
+        assert scenario.known_failed == frozenset()
+
+    def test_dead_from_start_known(self):
+        scenario = FailureScenario.dead_from_start("P2", known=True)
+        assert scenario.known_failed == {"P2"}
+
+    def test_simultaneous(self):
+        scenario = FailureScenario.simultaneous(["P1", "P3"], at=2.0)
+        assert scenario.failed_processors == {"P1", "P3"}
+        assert not scenario.alive_at("P1", 2.0)
+        assert not scenario.alive_at("P3", 2.0)
+
+    def test_intermittent(self):
+        scenario = FailureScenario.intermittent("P2", at=1.0, until=4.0)
+        assert scenario.alive_at("P2", 0.5)
+        assert not scenario.alive_at("P2", 2.0)
+        assert scenario.alive_at("P2", 4.5)
+
+    def test_alive_through(self):
+        scenario = FailureScenario.crash("P2", at=3.0)
+        assert scenario.alive_through("P2", 1.0, 2.9)
+        assert not scenario.alive_through("P2", 2.0, 3.5)
+        assert not scenario.alive_through("P2", 4.0, 5.0)
+        assert scenario.alive_through("P1", 0.0, 100.0)
+
+    def test_alive_through_after_recovery(self):
+        scenario = FailureScenario.intermittent("P2", at=1.0, until=4.0)
+        assert scenario.alive_through("P2", 4.0, 6.0)
+        assert not scenario.alive_through("P2", 3.0, 6.0)
+
+    def test_with_known(self):
+        scenario = FailureScenario.crash("P2", at=3.0).with_known("P3")
+        assert scenario.known_failed == {"P3"}
+
+    def test_crash_of(self):
+        scenario = FailureScenario.crash("P2", at=3.0)
+        assert scenario.crash_of("P2").at == 3.0
+        assert scenario.crash_of("P1") is None
+
+    def test_check_against(self):
+        scenario = FailureScenario.crash("P9", at=1.0)
+        with pytest.raises(ValueError, match="P9"):
+            scenario.check_against(["P1", "P2"])
+        FailureScenario.crash("P1", 1.0).check_against(["P1", "P2"])
+
+    def test_check_against_flags(self):
+        scenario = FailureScenario.none().with_known("P9")
+        with pytest.raises(ValueError):
+            scenario.check_against(["P1"])
+
+    def test_str_names(self):
+        assert "crash(P2@3.0)" == str(FailureScenario.crash("P2", 3.0))
+        assert "failure-free" == str(FailureScenario.none())

@@ -1,0 +1,69 @@
+"""Tests for the all-figures regeneration entry point."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.paper.figures import write_all_figures
+
+EXPECTED_ARTIFACTS = {
+    "fig07", "fig08", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig17-ascii", "fig17-executive", "fig18a", "fig18b",
+    "fig19", "fig21", "fig22", "fig23", "fig24", "summary",
+}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("figures")
+    return write_all_figures(outdir), outdir
+
+
+class TestInventory:
+    def test_every_artifact_written(self, artifacts):
+        written, _ = artifacts
+        assert set(written) == EXPECTED_ARTIFACTS
+        for path in written.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_svgs_are_valid_xml(self, artifacts):
+        written, _ = artifacts
+        for artifact, path in written.items():
+            if path.suffix == ".svg":
+                root = ET.parse(path).getroot()
+                assert root.tag.endswith("svg"), artifact
+
+    def test_dots_are_graphviz(self, artifacts):
+        written, _ = artifacts
+        for artifact, path in written.items():
+            if path.suffix == ".dot":
+                text = path.read_text()
+                assert text.startswith(("digraph", "graph")), artifact
+
+
+class TestContent:
+    def test_summary_all_match(self, artifacts):
+        written, _ = artifacts
+        summary = written["summary"].read_text()
+        assert "NO" not in summary  # every row matches the paper
+        assert "9.4" in summary and "8.6" in summary
+
+    def test_fig17_mentions_makespan(self, artifacts):
+        written, _ = artifacts
+        assert "makespan 9.4" in written["fig17"].read_text()
+
+    def test_fig18b_has_empty_p2_row(self, artifacts):
+        written, _ = artifacts
+        ascii_17 = written["fig17-ascii"].read_text()
+        assert "P2" in ascii_17
+        # The executive text carries the watchdog ladders.
+        executive = written["fig17-executive"].read_text()
+        assert "WATCHDOG" in executive
+
+    def test_idempotent(self, artifacts, tmp_path):
+        """Second run produces identical bytes (full determinism)."""
+        written, outdir = artifacts
+        second = write_all_figures(tmp_path)
+        for artifact, path in written.items():
+            assert second[artifact].read_text() == path.read_text(), artifact

@@ -1,0 +1,113 @@
+"""Unit tests for the ASCII Gantt renderer and the report tables."""
+
+import pytest
+
+from repro.analysis.gantt import render_comparison, render_schedule, render_trace
+from repro.analysis.report import (
+    ComparisonRow,
+    Table,
+    comparison_table,
+    format_value,
+)
+from repro.sim import FailureScenario, simulate
+
+
+class TestRenderSchedule:
+    def test_mentions_makespan_and_units(self, bus_solution1):
+        text = render_schedule(bus_solution1.schedule)
+        assert "makespan = 9.4" in text
+        for name in ("P1", "P2", "P3", "bus"):
+            assert name in text
+
+    def test_main_replicas_uppercase_backups_lowercase(self, bus_solution1):
+        text = render_schedule(bus_solution1.schedule)
+        # B's main is on P2, backup on P3 (paper Figure 15).
+        p2_row = next(l for l in text.splitlines() if l.startswith("P2"))
+        p3_row = next(l for l in text.splitlines() if l.startswith("P3"))
+        assert "B" in p2_row
+        assert "b" in p3_row
+
+    def test_comms_hidden_on_request(self, bus_solution1):
+        with_comms = render_schedule(bus_solution1.schedule, show_comms=True)
+        without = render_schedule(bus_solution1.schedule, show_comms=False)
+        assert "bus" in with_comms
+        assert "bus" not in without
+
+    def test_comparison_stacks_blocks(self, bus_solution1, bus_baseline):
+        text = render_comparison(
+            [("ft", bus_solution1.schedule), ("base", bus_baseline.schedule)]
+        )
+        assert "--- ft ---" in text and "--- base ---" in text
+
+
+class TestRenderTrace:
+    def test_failure_free(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        text = render_trace(trace)
+        assert "response" in text
+
+    def test_crash_marks_takeovers_and_detections(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule, FailureScenario.crash("P2", 3.0))
+        text = render_trace(trace)
+        assert "detection:" in text
+        assert "*" in text  # takeover frame marker
+
+    def test_incomplete_marked(self, bus_baseline):
+        trace = simulate(bus_baseline.schedule, FailureScenario.crash("P1", 0.0))
+        if not trace.completed:
+            assert "INCOMPLETE" in render_trace(trace)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_precision(self):
+        assert format_value(9.399999999) == "9.4"
+
+    def test_infinity(self):
+        assert format_value(float("inf")) == "inf"
+
+    def test_string_passthrough(self):
+        assert format_value("P2") == "P2"
+
+
+class TestTable:
+    def test_rejects_ragged_rows(self):
+        table = Table(headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_render_alignment(self):
+        table = Table(headers=("name", "value"), title="t")
+        table.add("x", 1)
+        table.add("longer", 2.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_empty_table_renders_headers(self):
+        text = Table(headers=("only",)).render()
+        assert "only" in text
+
+
+class TestComparisonTable:
+    def test_match_detection(self):
+        rows = [
+            ComparisonRow("exact", 9.4, 9.4),
+            ComparisonRow("off", 8.6, 9.6),
+            ComparisonRow("text", "yes", "yes"),
+        ]
+        text = comparison_table(rows).render()
+        assert "NO" in text
+        assert text.count("yes") >= 3
+
+    def test_matches_property(self):
+        assert ComparisonRow("q", 1.0, 1.0).matches is True
+        assert ComparisonRow("q", 1.0, 2.0).matches is False
+        assert ComparisonRow("q", "a", "a").matches is None

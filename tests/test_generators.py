@@ -1,0 +1,129 @@
+"""Unit tests for the random problem generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    diamond_dag,
+    fork_join_dag,
+    layered_dag,
+    random_bus_problem,
+    random_communication_table,
+    random_execution_table,
+    random_p2p_problem,
+    random_problem,
+    series_parallel_dag,
+)
+from repro.graphs.architecture import bus_architecture
+
+
+class TestShapes:
+    def test_layered_dag_structure(self):
+        graph = layered_dag([2, 3, 2], density=0.5, seed=1)
+        assert len(graph) == 7
+        graph.check()
+        # Inputs and outputs are extios.
+        for name in graph.inputs:
+            assert graph.operation(name).is_unsafe
+        for name in graph.outputs:
+            assert graph.operation(name).is_unsafe
+
+    def test_layered_dag_every_operation_connected(self):
+        graph = layered_dag([2, 4, 3, 2], density=0.3, seed=7)
+        for op in graph.operation_names:
+            has_pred = bool(graph.predecessors(op))
+            has_succ = bool(graph.successors(op))
+            assert has_pred or has_succ
+
+    def test_layered_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            layered_dag([3])
+
+    def test_layered_deterministic_per_seed(self):
+        first = layered_dag([2, 3, 2], seed=5)
+        second = layered_dag([2, 3, 2], seed=5)
+        assert [d.key for d in first.dependencies] == [
+            d.key for d in second.dependencies
+        ]
+
+    def test_fork_join(self):
+        graph = fork_join_dag(width=3, stages=2)
+        assert len(graph) == 2 + 3 * 2
+        assert graph.inputs == ["src"]
+        assert graph.outputs == ["sink"]
+        graph.check()
+
+    def test_series_parallel(self):
+        graph = series_parallel_dag(depth=3, seed=2)
+        graph.check()
+        assert graph.inputs == ["src"]
+        assert graph.outputs == ["sink"]
+
+    def test_diamond(self):
+        graph = diamond_dag(width=4)
+        assert graph.successors("A") == ["M0", "M1", "M2", "M3"]
+        graph.check()
+
+
+class TestTables:
+    def test_execution_table_heterogeneous(self):
+        graph = diamond_dag()
+        table = random_execution_table(graph, ["P1", "P2"], seed=3)
+        durations = {
+            table.duration(op, proc)
+            for op in graph.operation_names
+            for proc in ("P1", "P2")
+        }
+        assert len(durations) > 1
+
+    def test_extio_pinning_keeps_min_capable(self):
+        graph = layered_dag([2, 3, 2], seed=4)
+        procs = ["P1", "P2", "P3", "P4"]
+        table = random_execution_table(
+            graph, procs, seed=4, pin_extios_to=2, min_capable=2
+        )
+        for op in graph:
+            capable = table.allowed_processors(op.name, procs)
+            if op.is_unsafe:
+                assert len(capable) == 2
+            else:
+                assert len(capable) == 4
+
+    def test_communication_table_uniform_across_links(self):
+        graph = diamond_dag()
+        arch = bus_architecture(["P1", "P2"])
+        table = random_communication_table(graph, arch, seed=5)
+        for dep in graph.dependencies:
+            assert table.has_duration(dep.key, "bus")
+
+
+class TestWholeProblems:
+    @pytest.mark.parametrize("factory", [random_bus_problem, random_p2p_problem])
+    def test_generated_problems_feasible(self, factory):
+        for seed in range(6):
+            problem = factory(operations=10, processors=4, failures=1, seed=seed)
+            problem.check()
+
+    def test_k2_problems_feasible(self):
+        problem = random_bus_problem(operations=8, processors=4, failures=2, seed=1)
+        problem.check()
+        assert problem.replication_degree == 3
+
+    def test_comm_over_comp_scales_durations(self):
+        cheap = random_bus_problem(seed=2, comm_over_comp=0.1)
+        pricey = random_bus_problem(seed=2, comm_over_comp=2.0)
+        dep = cheap.algorithm.dependencies[0].key
+        link = cheap.architecture.link_names[0]
+        assert pricey.communication.duration(dep, link) > cheap.communication.duration(
+            dep, link
+        )
+
+    def test_determinism(self):
+        first = random_bus_problem(seed=9)
+        second = random_bus_problem(seed=9)
+        assert first.execution.entries == second.execution.entries
+
+    def test_random_problem_custom_pair(self):
+        graph = fork_join_dag(width=3, stages=1)
+        arch = bus_architecture(["P1", "P2", "P3"])
+        problem = random_problem(graph, arch, failures=1, seed=0)
+        problem.check()

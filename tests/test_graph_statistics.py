@@ -1,0 +1,67 @@
+"""Tests for the graph/problem statistics."""
+
+import pytest
+
+from repro.graphs.algorithm import chain
+from repro.graphs.generators import diamond_dag, fork_join_dag
+from repro.graphs.statistics import (
+    communication_to_computation_ratio,
+    graph_stats,
+    parallelism_profile,
+)
+from repro.paper.examples import paper_algorithm
+
+
+class TestParallelismProfile:
+    def test_chain_profile(self):
+        assert parallelism_profile(chain(["a", "b", "c"])) == [1, 1, 1]
+
+    def test_paper_example_profile(self):
+        # Levels: I | A | B C D | E | O
+        assert parallelism_profile(paper_algorithm()) == [1, 1, 3, 1, 1]
+
+    def test_fork_join_profile(self):
+        graph = fork_join_dag(width=4, stages=1)
+        assert parallelism_profile(graph) == [1, 4, 1]
+
+
+class TestGraphStats:
+    def test_paper_example_stats(self):
+        stats = graph_stats(paper_algorithm())
+        assert stats.operations == 7
+        assert stats.dependencies == 8
+        assert stats.inputs == 1 and stats.outputs == 1
+        assert stats.depth == 5
+        assert stats.max_width == 3
+        assert stats.max_fan_out == 3  # A feeds B, C, D
+        assert stats.max_fan_in == 3   # E consumes B, C, D
+        assert stats.average_parallelism == pytest.approx(7 / 5)
+
+    def test_chain_stats(self):
+        stats = graph_stats(chain(["a", "b", "c", "d"]))
+        assert stats.depth == 4
+        assert stats.max_width == 1
+        assert stats.average_parallelism == pytest.approx(1.0)
+        assert stats.edge_density == pytest.approx(3 / 4)
+
+    def test_diamond_stats(self):
+        stats = graph_stats(diamond_dag(width=5))
+        assert stats.max_width == 5
+        assert stats.max_fan_out == 5
+
+
+class TestCcr:
+    def test_paper_example_ccr(self, bus_problem):
+        ccr = communication_to_computation_ratio(bus_problem)
+        # comm mean = (1.25+0.5+0.5+1+0.5+0.6+0.8+1)/8 = 0.76875
+        # comp mean over ops of per-op average durations.
+        assert 0.3 < ccr < 0.8
+
+    def test_ccr_scales_with_comm_costs(self):
+        from repro.graphs.generators import random_bus_problem
+
+        cheap = random_bus_problem(seed=4, comm_over_comp=0.1)
+        pricey = random_bus_problem(seed=4, comm_over_comp=2.0)
+        assert communication_to_computation_ratio(
+            pricey
+        ) > communication_to_computation_ratio(cheap)

@@ -1,0 +1,91 @@
+"""Tests for the insertion-based scheduling variants."""
+
+import pytest
+
+from repro.core.insertion import (
+    InsertionSolution1Scheduler,
+    InsertionSolution2Scheduler,
+    InsertionSyndexScheduler,
+)
+from repro.core.list_scheduler import best_over_seeds
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import FailureScenario, simulate
+
+
+class TestValidity:
+    def test_baseline_valid(self, bus_problem):
+        result = InsertionSyndexScheduler(bus_problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+
+    def test_solution1_valid_and_certified(self, bus_problem):
+        result = InsertionSolution1Scheduler(bus_problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_solution2_valid_and_certified(self, p2p_problem):
+        result = InsertionSolution2Scheduler(p2p_problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_problems_valid(self, seed):
+        problem = random_bus_problem(
+            operations=12, processors=4, failures=1, seed=seed
+        )
+        result = InsertionSolution1Scheduler(problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_no_processor_overlap_despite_insertion(self, bus_problem):
+        schedule = InsertionSolution1Scheduler(bus_problem).run().schedule
+        for proc in ("P1", "P2", "P3"):
+            timeline = schedule.processor_timeline(proc)
+            for first, second in zip(timeline, timeline[1:]):
+                assert first.end <= second.start + 1e-9
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_insertion_never_worse_per_seed_baseline(self, seed):
+        """Same decision sequence, strictly more placement freedom:
+        the insertion baseline cannot lose to the append-only one on
+        the same tie-break draw... in the aggregate (individual greedy
+        decisions may diverge, so compare best-of-seeds)."""
+        problem = random_bus_problem(
+            operations=12, processors=4, failures=0, seed=seed
+        )
+        append = best_over_seeds(SyndexScheduler, problem, attempts=8)
+        insertion = best_over_seeds(InsertionSyndexScheduler, problem, attempts=8)
+        assert insertion.makespan <= append.makespan * 1.05 + 1e-9
+
+    def test_insertion_helps_somewhere(self):
+        """On at least one workload of the family the gap reuse pays."""
+        improved = 0
+        for seed in range(8):
+            problem = random_bus_problem(
+                operations=14, processors=4, failures=1, seed=seed,
+                comm_over_comp=1.0,
+            )
+            append = best_over_seeds(Solution1Scheduler, problem, attempts=4)
+            insertion = best_over_seeds(
+                InsertionSolution1Scheduler, problem, attempts=4
+            )
+            if insertion.makespan < append.makespan - 1e-9:
+                improved += 1
+        assert improved >= 1
+
+
+class TestRuntimeBehaviour:
+    def test_simulation_still_correct(self, bus_problem):
+        """The executive handles insertion schedules unchanged: the
+        per-processor order is by start date, gaps included."""
+        schedule = InsertionSolution1Scheduler(bus_problem).run().schedule
+        healthy = simulate(schedule)
+        assert healthy.completed
+        assert healthy.detections == []
+        for victim in ("P1", "P2", "P3"):
+            trace = simulate(schedule, FailureScenario.crash(victim, 2.0))
+            assert trace.completed, victim

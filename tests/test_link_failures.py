@@ -1,0 +1,138 @@
+"""Tests for the link-failure extension (paper Section 8 future work).
+
+The paper's model excludes link failures; tolerating them is listed as
+ongoing work.  These tests cover the extension we built for it:
+link-crash injection in the simulator and static link-fault
+certification — and verify the qualitative facts the paper's
+discussion predicts:
+
+* a single-bus architecture can never survive its bus dying;
+* Solution 2 on a fully connected architecture tolerates any single
+  link failure for K=1 workloads whose replicas are spread out (each
+  consumer receives two copies over two different links);
+* the Figure 8 chain loses P1<->P3 traffic when a chain link dies.
+"""
+
+import math
+
+import pytest
+
+from repro.core.validate import certify_link_fault_tolerance
+from repro.sim import FailureScenario, LinkCrash, simulate
+from repro.sim.values import reference_outputs
+
+
+class TestLinkCrashModel:
+    def test_invalid_dates_rejected(self):
+        with pytest.raises(ValueError):
+            LinkCrash("bus", at=-1.0)
+        with pytest.raises(ValueError):
+            LinkCrash("bus", at=2.0, until=1.0)
+
+    def test_alive_windows(self):
+        crash = LinkCrash("bus", at=2.0, until=5.0)
+        assert crash.alive_at(1.0)
+        assert not crash.alive_at(3.0)
+        assert crash.alive_at(5.0)
+
+    def test_scenario_helpers(self):
+        scenario = FailureScenario.link_failure("bus", at=2.0)
+        assert scenario.link_crash_of("bus").at == 2.0
+        assert scenario.link_crash_of("other") is None
+        assert scenario.link_alive_through("bus", 0.0, 1.9)
+        assert not scenario.link_alive_through("bus", 1.0, 3.0)
+        assert scenario.link_alive_through("other", 0.0, 100.0)
+
+    def test_unknown_link_rejected(self, bus_solution1):
+        scenario = FailureScenario.link_failure("ghost-link")
+        with pytest.raises(ValueError, match="ghost-link"):
+            simulate(bus_solution1.schedule, scenario)
+
+
+class TestBusFailure:
+    def test_single_bus_cannot_survive_its_bus(self, bus_solution1):
+        trace = simulate(
+            bus_solution1.schedule, FailureScenario.link_failure("bus", at=0.0)
+        )
+        # Every inter-processor dependency is lost: no output where a
+        # remote input was needed.
+        assert not trace.completed
+
+    def test_static_certification_agrees(self, bus_solution1):
+        report = certify_link_fault_tolerance(bus_solution1.schedule, 1)
+        assert not report.ok
+        (failing,) = report.failing_patterns
+        assert failing.failed == frozenset({"bus"})
+
+    def test_late_bus_failure_after_traffic_done_is_harmless(
+        self, bus_solution1
+    ):
+        trace = simulate(
+            bus_solution1.schedule,
+            FailureScenario.link_failure("bus", at=100.0),
+        )
+        assert trace.completed
+
+
+class TestPointToPointLinkFailure:
+    @pytest.mark.parametrize("link", ["L1.2", "L1.3", "L2.3"])
+    def test_solution2_survives_any_single_link(
+        self, p2p_solution2, p2p_problem, link
+    ):
+        """Each consumer gets K+1 = 2 copies over distinct links, so
+        one dead link leaves at least one copy flowing."""
+        trace = simulate(
+            p2p_solution2.schedule, FailureScenario.link_failure(link, at=0.0)
+        )
+        assert trace.completed, link
+        assert trace.output_values == reference_outputs(p2p_problem.algorithm)
+
+    def test_static_certification_solution2(self, p2p_solution2):
+        report = certify_link_fault_tolerance(p2p_solution2.schedule, 1)
+        assert report.ok
+
+    def test_pattern_count(self, p2p_solution2):
+        report = certify_link_fault_tolerance(p2p_solution2.schedule, 1)
+        # Empty pattern + 3 single-link patterns.
+        assert len(report.outcomes) == 4
+
+    def test_baseline_p2p_sensitive_to_used_links(self, p2p_baseline):
+        report = certify_link_fault_tolerance(p2p_baseline.schedule, 1)
+        used_links = {slot.link for slot in p2p_baseline.schedule.comms}
+        for outcome in report.outcomes:
+            if outcome.failed and outcome.failed.intersection(used_links):
+                assert not outcome.ok
+        # And the simulator agrees on one used link.
+        if used_links:
+            link = sorted(used_links)[0]
+            trace = simulate(
+                p2p_baseline.schedule, FailureScenario.link_failure(link)
+            )
+            assert not trace.completed
+
+
+class TestFigure8Chain:
+    def test_chain_link_failure_kills_relayed_traffic(self, figure8_problem):
+        from repro.core.syndex import schedule_baseline
+
+        schedule = schedule_baseline(figure8_problem).schedule
+        report = certify_link_fault_tolerance(schedule, 1)
+        used_links = {slot.link for slot in schedule.comms}
+        if used_links:
+            assert not report.ok
+
+
+class TestIntermittentLink:
+    def test_transient_link_outage_loses_only_overlapping_frames(
+        self, p2p_solution2
+    ):
+        scenario = FailureScenario(
+            link_crashes=(LinkCrash("L1.2", at=2.0, until=4.0),),
+            name="link-outage",
+        )
+        trace = simulate(p2p_solution2.schedule, scenario)
+        assert trace.completed  # redundancy covers the window
+        lost = [f for f in trace.frames if not f.delivered]
+        for frame in lost:
+            assert frame.link == "L1.2"
+            assert frame.end >= 2.0 and frame.start < 4.0

@@ -1,0 +1,86 @@
+"""Unit tests for the shared list-scheduling skeleton."""
+
+import pytest
+
+from repro.core.list_scheduler import best_over_seeds, explore_seeds
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.graphs.problem import InfeasibleProblemError
+
+
+class TestStepRecords:
+    def test_one_step_per_operation(self, bus_solution1, bus_problem):
+        assert len(bus_solution1.steps) == len(bus_problem.algorithm)
+
+    def test_steps_respect_precedence(self, bus_solution1, bus_problem):
+        algorithm = bus_problem.algorithm
+        position = {step.op: step.index for step in bus_solution1.steps}
+        for dep in algorithm.dependencies:
+            assert position[dep.src] < position[dep.dst]
+
+    def test_first_step_is_an_input(self, bus_solution1, bus_problem):
+        assert bus_solution1.steps[0].op in bus_problem.algorithm.inputs
+
+    def test_kept_placements_match_degree(self, bus_solution1, bus_problem):
+        for step in bus_solution1.steps:
+            assert len(step.kept) == bus_problem.replication_degree
+            assert len(step.placements) == bus_problem.replication_degree
+
+    def test_main_processor_property(self, bus_solution1):
+        for step in bus_solution1.steps:
+            assert step.main_processor == step.placements[0].processor
+
+
+class TestPartialSchedules:
+    def test_partial_schedule_grows(self, bus_solution1):
+        two = bus_solution1.partial_schedule(2)
+        three = bus_solution1.partial_schedule(3)
+        assert len(two.operations) == 2
+        assert len(three.operations) == 3
+        assert two.makespan <= three.makespan
+
+    def test_full_partial_equals_schedule(self, bus_solution1):
+        full = bus_solution1.partial_schedule(len(bus_solution1.steps))
+        assert full.makespan == pytest.approx(bus_solution1.makespan)
+        assert len(full.comms) == len(bus_solution1.schedule.comms)
+
+    def test_figure14_prefix(self, bus_solution1):
+        """Figure 14: after two steps only I and A are scheduled."""
+        partial = bus_solution1.partial_schedule(2)
+        assert sorted(partial.operations) == ["A", "I"]
+
+
+class TestDeterminism:
+    def test_deterministic_reruns_identical(self, bus_problem):
+        first = Solution1Scheduler(bus_problem).run()
+        second = Solution1Scheduler(bus_problem).run()
+        assert first.makespan == second.makespan
+        assert [s.op for s in first.steps] == [s.op for s in second.steps]
+        assert [
+            tuple(p.processor for p in s.placements) for s in first.steps
+        ] == [tuple(p.processor for p in s.placements) for s in second.steps]
+
+    def test_seeded_reruns_identical(self, bus_problem):
+        first = Solution1Scheduler(bus_problem, seed=7).run()
+        second = Solution1Scheduler(bus_problem, seed=7).run()
+        assert first.makespan == second.makespan
+
+    def test_seeds_explore_tie_family(self, bus_problem):
+        results = explore_seeds(SyndexScheduler, bus_problem, [None, 0, 1, 2, 3])
+        spans = {round(r.makespan, 6) for r in results}
+        # The paper example has real ties: several schedules exist.
+        assert len(spans) > 1
+
+    def test_best_over_seeds_not_worse_than_deterministic(self, bus_problem):
+        deterministic = SyndexScheduler(bus_problem).run()
+        best = best_over_seeds(SyndexScheduler, bus_problem, attempts=16)
+        assert best.makespan <= deterministic.makespan
+
+
+class TestFeasibilityGuards:
+    def test_infeasible_problem_rejected_at_construction(self, bus_problem):
+        with pytest.raises(InfeasibleProblemError):
+            Solution1Scheduler(bus_problem.with_failures(2))
+
+    def test_prepass_exposed(self, bus_solution1):
+        assert bus_solution1.prepass.critical_path > 0

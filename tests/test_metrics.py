@@ -1,0 +1,94 @@
+"""Unit tests for the analysis metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    OverheadReport,
+    link_loads,
+    message_counts,
+    overhead,
+    processor_loads,
+    replication_summary,
+    transient_penalty,
+)
+from repro.sim import FailureScenario, simulate
+
+
+class TestOverhead:
+    def test_report_arithmetic(self):
+        report = OverheadReport(8.6, 9.4)
+        assert report.absolute == pytest.approx(0.8)
+        assert report.relative == pytest.approx(0.8 / 8.6)
+        assert "0.8" in str(report)
+
+    def test_zero_baseline(self):
+        assert OverheadReport(0.0, 0.0).relative == 0.0
+
+    def test_overhead_of_paper_schedules(self, bus_baseline, bus_solution1):
+        report = overhead(bus_baseline.schedule, bus_solution1.schedule)
+        assert report.fault_tolerant_makespan == pytest.approx(9.4)
+
+
+class TestMessageCounts:
+    def test_solution1_minimality(self, bus_solution1, bus_problem):
+        """Section 6.4: at most K+1 logical sends per dependency; on a
+        single bus, exactly one frame per communicated dependency."""
+        counts = message_counts(bus_solution1.schedule)
+        assert counts["per_dependency_max"] <= bus_problem.failures + 1
+        assert counts["frames"] <= len(bus_problem.algorithm.dependencies)
+
+    def test_solution2_exceeds_solution1(self, p2p_solution2, bus_solution1):
+        assert (
+            message_counts(p2p_solution2.schedule)["frames"]
+            > message_counts(bus_solution1.schedule)["frames"]
+        )
+
+    def test_empty_dependency_case(self, bus_baseline):
+        counts = message_counts(bus_baseline.schedule)
+        assert counts["frames"] >= counts["dependencies_with_traffic"]
+
+
+class TestReplication:
+    def test_solution1_summary(self, bus_solution1, bus_problem):
+        summary = replication_summary(bus_solution1.schedule)
+        n_ops = len(bus_problem.algorithm)
+        assert summary["operations"] == n_ops
+        assert summary["replicas"] == 2 * n_ops
+        assert summary["backups"] == n_ops
+
+    def test_baseline_summary(self, bus_baseline, bus_problem):
+        summary = replication_summary(bus_baseline.schedule)
+        assert summary["backups"] == 0
+
+
+class TestLoads:
+    def test_processor_loads_cover_all(self, bus_solution1):
+        loads = processor_loads(bus_solution1.schedule)
+        assert set(loads) == {"P1", "P2", "P3"}
+        assert all(v >= 0 for v in loads.values())
+        assert sum(loads.values()) == pytest.approx(
+            sum(r.duration for r in bus_solution1.schedule.all_replicas())
+        )
+
+    def test_link_loads(self, bus_solution1):
+        loads = link_loads(bus_solution1.schedule)
+        assert set(loads) == {"bus"}
+        assert loads["bus"] > 0
+
+
+class TestTransientPenalty:
+    def test_penalty_positive_for_early_crash(self, bus_solution1):
+        healthy = simulate(bus_solution1.schedule)
+        transient = simulate(
+            bus_solution1.schedule, FailureScenario.crash("P1", 0.5)
+        )
+        penalty = transient_penalty(healthy, transient)
+        assert penalty >= 0
+
+    def test_penalty_infinite_when_incomplete(self, bus_baseline):
+        healthy = simulate(bus_baseline.schedule)
+        broken = simulate(bus_baseline.schedule, FailureScenario.crash("P1", 0.0))
+        if not broken.completed:
+            assert transient_penalty(healthy, broken) == math.inf

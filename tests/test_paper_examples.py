@@ -1,0 +1,154 @@
+"""Exact reproduction tests for the paper's tables and figures.
+
+These are the headline assertions of the whole repository: the
+deterministic runs reproduce the fault-tolerant figures (17 and 22)
+exactly, and the seeded tie-break family contains the paper's baseline
+figures (19 and 24) exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.core.syndex import SyndexScheduler
+from repro.paper import examples, expected
+
+
+class TestTables:
+    def test_execution_table_values(self):
+        """Table of Section 6.5 (same as 5.4 and 7.3)."""
+        table = examples.paper_execution_table()
+        assert table.duration("I", "P1") == 1.0
+        assert table.duration("B", "P1") == 3.0
+        assert table.duration("B", "P2") == 1.5
+        assert table.duration("C", "P3") == 1.0
+        assert table.duration("D", "P2") == 1.0
+        assert table.duration("O", "P2") == 1.5
+        assert math.isinf(table.duration("I", "P3"))
+        assert math.isinf(table.duration("O", "P3"))
+
+    def test_communication_table_values(self):
+        arch = examples.figure13_bus_architecture()
+        table = examples.paper_communication_table(arch)
+        assert table.duration(("I", "A"), "bus") == 1.25
+        assert table.duration(("A", "B"), "bus") == 0.5
+        assert table.duration(("A", "D"), "bus") == 1.0
+        assert table.duration(("B", "E"), "bus") == 0.5
+        assert table.duration(("C", "E"), "bus") == 0.6
+        assert table.duration(("D", "E"), "bus") == 0.8
+        assert table.duration(("E", "O"), "bus") == 1.0
+
+    def test_same_duration_on_every_link(self):
+        arch = examples.figure21_p2p_architecture()
+        table = examples.paper_communication_table(arch)
+        for link in arch.link_names:
+            assert table.duration(("I", "A"), link) == 1.25
+
+
+class TestGraphs:
+    def test_figure7_shape(self):
+        graph = examples.paper_algorithm()
+        assert len(graph) == expected.OPERATION_COUNT
+        assert len(graph.dependencies) == expected.DEPENDENCY_COUNT
+        assert graph.inputs == ["I"]
+        assert graph.outputs == ["O"]
+        assert graph.successors("A") == ["B", "C", "D"]
+        assert graph.predecessors("E") == ["B", "C", "D"]
+        assert graph.operation("I").is_unsafe
+        assert graph.operation("A").is_safe
+
+    def test_figure8_architecture(self):
+        arch = examples.figure8_architecture()
+        assert len(arch) == 3
+        assert [l.name for l in arch.links] == ["L1.2", "L2.3"]
+        assert not arch.has_bus
+        assert arch.links_between("P1", "P3") == []
+
+    def test_figure13_architecture(self):
+        arch = examples.figure13_bus_architecture()
+        assert arch.is_single_bus
+
+    def test_figure21_architecture(self):
+        arch = examples.figure21_p2p_architecture()
+        assert len(arch.links) == 3
+        assert not arch.has_bus
+
+
+class TestSolution1Figures:
+    def test_fig17_makespan_exact(self, bus_solution1):
+        assert bus_solution1.makespan == pytest.approx(
+            expected.FIG17_SOLUTION1_MAKESPAN
+        )
+
+    def test_fig15_b_placement(self, bus_solution1):
+        """Section 6.5 narration: B's main is P2, its backup P3."""
+        schedule = bus_solution1.schedule
+        assert tuple(schedule.processors_of("B")) == expected.FIG15_B_PROCESSORS
+
+    def test_fig16_c_placement(self, bus_solution1):
+        """Section 6.5 narration: C is on P1 (main) and P3."""
+        schedule = bus_solution1.schedule
+        assert tuple(schedule.processors_of("C")) == expected.FIG16_C_PROCESSORS
+
+    def test_fig14_first_two_steps_are_i_and_a(self, bus_solution1):
+        assert [step.op for step in bus_solution1.steps[:2]] == ["I", "A"]
+
+    def test_fig15_third_step_is_b(self, bus_solution1):
+        """'At the next step, operation B is scheduled.'"""
+        assert bus_solution1.steps[2].op == "B"
+
+    def test_fig16_fourth_step_is_c(self, bus_solution1):
+        assert bus_solution1.steps[3].op == "C"
+
+    def test_every_operation_duplicated(self, bus_solution1):
+        """'Each operation of the algorithm graph is replicated twice
+        and these replicas are assigned to different processors.'"""
+        for op in bus_solution1.schedule.operations:
+            procs = bus_solution1.schedule.processors_of(op)
+            assert len(procs) == 2 and len(set(procs)) == 2
+
+
+class TestSolution2Figures:
+    def test_fig22_makespan_exact(self, p2p_solution2):
+        assert p2p_solution2.makespan == pytest.approx(
+            expected.FIG22_SOLUTION2_MAKESPAN
+        )
+
+    def test_every_comp_duplicated(self, p2p_solution2):
+        for op in p2p_solution2.schedule.operations:
+            assert len(p2p_solution2.schedule.processors_of(op)) == 2
+
+
+class TestBaselineFigures:
+    def test_fig19_in_tie_break_family(self, bus_problem):
+        result = expected.find_seed_for_makespan(
+            SyndexScheduler, bus_problem, expected.FIG19_BASELINE_MAKESPAN
+        )
+        assert result is not None
+        assert result.makespan == pytest.approx(expected.FIG19_BASELINE_MAKESPAN)
+
+    def test_fig24_in_tie_break_family(self, p2p_problem):
+        result = expected.find_seed_for_makespan(
+            SyndexScheduler, p2p_problem, expected.FIG24_BASELINE_MAKESPAN
+        )
+        assert result is not None
+        assert result.makespan == pytest.approx(expected.FIG24_BASELINE_MAKESPAN)
+
+
+class TestOverheads:
+    def test_first_example_overhead(self, bus_problem, bus_solution1):
+        """Section 6.6: overhead = 9.4 - 8.6 = 0.8, against the
+        paper's own baseline draw."""
+        baseline = expected.find_seed_for_makespan(
+            SyndexScheduler, bus_problem, expected.FIG19_BASELINE_MAKESPAN
+        )
+        overhead = bus_solution1.makespan - baseline.makespan
+        assert overhead == pytest.approx(expected.FIRST_EXAMPLE_OVERHEAD)
+
+    def test_second_example_overhead(self, p2p_problem, p2p_solution2):
+        """Section 7.4: overhead = 8.9 - 8.0 = 0.9."""
+        baseline = expected.find_seed_for_makespan(
+            SyndexScheduler, p2p_problem, expected.FIG24_BASELINE_MAKESPAN
+        )
+        overhead = p2p_solution2.makespan - baseline.makespan
+        assert overhead == pytest.approx(expected.SECOND_EXAMPLE_OVERHEAD)

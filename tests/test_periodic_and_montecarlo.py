@@ -1,0 +1,106 @@
+"""Tests for periodic-execution analysis and Monte-Carlo availability."""
+
+import math
+
+import pytest
+
+from repro.analysis.periodic import (
+    can_sustain,
+    degraded_min_period,
+    min_period,
+    unit_busy_times,
+    worst_degraded_min_period,
+)
+from repro.core.degrade import DegradationError
+from repro.sim.montecarlo import estimate_availability
+
+
+class TestPeriodicAnalysis:
+    def test_unit_busy_times_cover_everything(self, bus_solution1):
+        busy = unit_busy_times(bus_solution1.schedule)
+        assert set(busy) == {"P1", "P2", "P3", "bus"}
+        assert all(value >= 0 for value in busy.values())
+
+    def test_pipelined_period_below_makespan(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        assert min_period(schedule, pipelined=True) <= schedule.makespan
+
+    def test_unpipelined_period_is_makespan(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        assert min_period(schedule, pipelined=False) == pytest.approx(
+            schedule.makespan
+        )
+
+    def test_replication_raises_the_period_floor(
+        self, bus_baseline, bus_solution1
+    ):
+        """K+1 replicas inflate unit busy times: the throughput
+        ceiling drops when fault tolerance is added."""
+        assert min_period(bus_solution1.schedule) >= min_period(
+            bus_baseline.schedule
+        )
+
+    def test_can_sustain(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        floor = min_period(schedule)
+        assert can_sustain(schedule, floor)
+        assert can_sustain(schedule, floor + 1.0)
+        assert not can_sustain(schedule, floor - 0.5)
+
+    def test_degraded_period_not_better(self, bus_solution1):
+        """Concentrating surviving work on fewer processors can only
+        keep or raise the per-unit busy maximum."""
+        schedule = bus_solution1.schedule
+        base = min_period(schedule)
+        for victim in ("P1", "P2", "P3"):
+            degraded = degraded_min_period(schedule, {victim})
+            assert degraded >= base - 1e-9 or degraded >= 0
+
+    def test_worst_degraded_period(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        worst = worst_degraded_min_period(schedule)
+        assert worst >= min_period(schedule) - 1e-9
+        for victim in ("P1", "P2", "P3"):
+            assert worst >= degraded_min_period(schedule, {victim}) - 1e-9
+
+    def test_worst_degraded_respects_tolerance(self, bus_solution1):
+        with pytest.raises(DegradationError):
+            worst_degraded_min_period(bus_solution1.schedule, failures=2)
+
+
+class TestMonteCarloAvailability:
+    def test_zero_probability_full_availability(self, bus_solution1):
+        estimate = estimate_availability(
+            bus_solution1.schedule, 0.0, trials=20, seed=1
+        )
+        assert estimate.availability == 1.0
+        assert estimate.disturbed == 0
+        assert estimate.conditional_survival == 1.0
+
+    def test_reproducible_per_seed(self, bus_solution1):
+        first = estimate_availability(
+            bus_solution1.schedule, 0.2, trials=50, seed=7
+        )
+        second = estimate_availability(
+            bus_solution1.schedule, 0.2, trials=50, seed=7
+        )
+        assert first == second
+
+    def test_fault_tolerance_beats_baseline(self, bus_solution1, bus_baseline):
+        """The headline quantification: under random crashes, the
+        Solution-1 schedule completes (far) more iterations."""
+        p = 0.15
+        ft = estimate_availability(bus_solution1.schedule, p, trials=120, seed=3)
+        base = estimate_availability(bus_baseline.schedule, p, trials=120, seed=3)
+        assert ft.availability > base.availability
+        assert ft.conditional_survival > base.conditional_survival
+
+    def test_invalid_probability_rejected(self, bus_solution1):
+        with pytest.raises(ValueError):
+            estimate_availability(bus_solution1.schedule, 1.5, trials=1)
+
+    def test_str_mentions_percentages(self, bus_solution1):
+        estimate = estimate_availability(
+            bus_solution1.schedule, 0.1, trials=20, seed=2
+        )
+        assert "availability" in str(estimate)

@@ -1,0 +1,105 @@
+"""Unit tests for the schedule-pressure pre-pass."""
+
+import pytest
+
+from repro.core.pressure import PressurePrePass
+from repro.graphs.algorithm import AlgorithmGraph, chain
+from repro.graphs.constraints import INFINITY, ExecutionTable
+from repro.paper.examples import (
+    first_example_problem,
+    paper_algorithm,
+    paper_execution_table,
+)
+
+
+def make_prepass(mode="average"):
+    return PressurePrePass.compute(
+        paper_algorithm(), paper_execution_table(), ["P1", "P2", "P3"], mode
+    )
+
+
+class TestEstimates:
+    def test_average_estimates(self):
+        prepass = make_prepass("average")
+        # I runs in 1.0 on P1 and P2 (P3 excluded): average 1.0.
+        assert prepass.estimate["I"] == pytest.approx(1.0)
+        # B: (3 + 1.5 + 1.5) / 3 = 2.0
+        assert prepass.estimate["B"] == pytest.approx(2.0)
+        # C: (2 + 3 + 1) / 3 = 2.0
+        assert prepass.estimate["C"] == pytest.approx(2.0)
+
+    def test_min_max_modes(self):
+        assert make_prepass("min").estimate["B"] == pytest.approx(1.5)
+        assert make_prepass("max").estimate["B"] == pytest.approx(3.0)
+
+
+class TestTails:
+    def test_output_has_zero_tail(self):
+        prepass = make_prepass()
+        assert prepass.tail["O"] == 0.0
+
+    def test_tail_accumulates_backwards(self):
+        prepass = make_prepass()
+        # E's tail is O's estimate: 1.5.
+        assert prepass.tail["E"] == pytest.approx(1.5)
+        # B/C/D tail: E + O = 1 + 1.5 = 2.5.
+        assert prepass.tail["B"] == pytest.approx(2.5)
+        # A's tail: max over B, C, D of (estimate + tail).
+        expected = max(
+            prepass.estimate[x] + prepass.tail[x] for x in ("B", "C", "D")
+        )
+        assert prepass.tail["A"] == pytest.approx(expected)
+
+    def test_critical_path(self):
+        prepass = make_prepass()
+        # R = estimate(I) + tail(I) for the single input.
+        assert prepass.critical_path == pytest.approx(
+            prepass.estimate["I"] + prepass.tail["I"]
+        )
+
+
+class TestPressure:
+    def test_pressure_formula(self):
+        prepass = make_prepass()
+        # sigma = S + Delta + E(o) - R
+        sigma = prepass.pressure("E", start=6.0, duration=1.0)
+        assert sigma == pytest.approx(6.0 + 1.0 + 1.5 - prepass.critical_path)
+
+    def test_on_critical_path_zero_pressure(self):
+        """An operation scheduled exactly on the estimated critical
+        path neither lengthens nor relaxes it."""
+        prepass = make_prepass()
+        start = prepass.critical_path - prepass.tail["O"] - prepass.estimate["O"]
+        assert prepass.pressure("O", start, prepass.estimate["O"]) == pytest.approx(0.0)
+
+    def test_for_problem_wrapper(self):
+        problem = first_example_problem(1)
+        prepass = PressurePrePass.for_problem(problem)
+        assert prepass.critical_path == make_prepass().critical_path
+
+
+class TestChainPrePass:
+    def test_chain_tails_are_suffix_sums(self):
+        graph = chain(["a", "b", "c"])
+        table = ExecutionTable.uniform(["a", "b", "c"], ["P1"], 2.0)
+        prepass = PressurePrePass.compute(graph, table, ["P1"])
+        assert prepass.tail == {"a": 4.0, "b": 2.0, "c": 0.0}
+        assert prepass.critical_path == pytest.approx(6.0)
+
+    def test_parallel_branches_take_max(self):
+        graph = AlgorithmGraph()
+        graph.add_comp("src")
+        graph.add_comp("fast")
+        graph.add_comp("slow")
+        graph.add_dependency("src", "fast")
+        graph.add_dependency("src", "slow")
+        table = ExecutionTable.from_rows(
+            {
+                "src": {"P1": 1.0},
+                "fast": {"P1": 1.0},
+                "slow": {"P1": 5.0},
+            }
+        )
+        prepass = PressurePrePass.compute(graph, table, ["P1"])
+        assert prepass.tail["src"] == pytest.approx(5.0)
+        assert prepass.critical_path == pytest.approx(6.0)

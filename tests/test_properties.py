@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategy: generate small random problems (layered DAGs, 3-5 processors,
+bus or fully connected, K in {0, 1, 2}) and assert the paper's
+structural guarantees hold for every draw:
+
+* every scheduler output passes full static validation;
+* fault-tolerant schedules pass exhaustive K-fault certification;
+* the simulator completes every iteration under any crash pattern of
+  size <= K, at any crash date;
+* serialization round-trips exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.graphs.io import problem_from_dict, problem_to_dict
+from repro.sim import FailureScenario, simulate
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+problem_params = st.fixed_dictionaries(
+    {
+        "operations": st.integers(min_value=6, max_value=14),
+        "processors": st.integers(min_value=3, max_value=5),
+        "failures": st.integers(min_value=0, max_value=2),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "comm_over_comp": st.sampled_from([0.1, 0.5, 1.0, 2.0]),
+    }
+)
+
+
+def build_problem(params, p2p: bool):
+    factory = random_p2p_problem if p2p else random_bus_problem
+    params = dict(params)
+    # Keep K feasible: need at least K+1 processors.
+    params["failures"] = min(params["failures"], params["processors"] - 1)
+    return factory(**params)
+
+
+class TestSchedulersAlwaysValid:
+    @SLOW
+    @given(params=problem_params, p2p=st.booleans())
+    def test_baseline_valid(self, params, p2p):
+        problem = build_problem(params, p2p)
+        result = SyndexScheduler(problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        assert result.makespan > 0
+
+    @SLOW
+    @given(params=problem_params, p2p=st.booleans())
+    def test_solution1_valid_and_certified(self, params, p2p):
+        problem = build_problem(params, p2p)
+        result = Solution1Scheduler(problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    @SLOW
+    @given(params=problem_params, p2p=st.booleans())
+    def test_solution2_valid_and_certified(self, params, p2p):
+        problem = build_problem(params, p2p)
+        result = Solution2Scheduler(problem).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    @SLOW
+    @given(params=problem_params, seed=st.integers(0, 100))
+    def test_seeded_runs_also_valid(self, params, seed):
+        problem = build_problem(params, p2p=False)
+        result = Solution1Scheduler(problem, seed=seed).run()
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+
+class TestSimulationSurvivesUpToKCrashes:
+    @SLOW
+    @given(
+        params=problem_params,
+        victim_picks=st.lists(st.integers(0, 4), min_size=0, max_size=2),
+        crash_at=st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_solution1_completes(self, params, victim_picks, crash_at):
+        problem = build_problem(params, p2p=False)
+        procs = problem.architecture.processor_names
+        victims = sorted({procs[i % len(procs)] for i in victim_picks})
+        victims = victims[: problem.failures]
+        schedule = Solution1Scheduler(problem).run().schedule
+        scenario = (
+            FailureScenario.simultaneous(victims, at=crash_at)
+            if victims
+            else FailureScenario.none()
+        )
+        trace = simulate(schedule, scenario)
+        assert trace.completed
+        assert math.isfinite(trace.response_time)
+
+    @SLOW
+    @given(
+        params=problem_params,
+        victim_picks=st.lists(st.integers(0, 4), min_size=0, max_size=2),
+        crash_at=st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_solution2_completes(self, params, victim_picks, crash_at):
+        problem = build_problem(params, p2p=True)
+        procs = problem.architecture.processor_names
+        victims = sorted({procs[i % len(procs)] for i in victim_picks})
+        victims = victims[: problem.failures]
+        schedule = Solution2Scheduler(problem).run().schedule
+        scenario = (
+            FailureScenario.simultaneous(victims, at=crash_at)
+            if victims
+            else FailureScenario.none()
+        )
+        trace = simulate(schedule, scenario)
+        assert trace.completed
+
+    @SLOW
+    @given(params=problem_params)
+    def test_failure_free_simulation_within_static_bound(self, params):
+        """The static makespan is a worst-case plan: the message-driven
+        runtime never exceeds it in the failure-free case."""
+        problem = build_problem(params, p2p=False)
+        result = Solution1Scheduler(problem).run()
+        trace = simulate(result.schedule)
+        assert trace.completed
+        assert trace.response_time <= result.makespan + 1e-6
+
+    @SLOW
+    @given(params=problem_params)
+    def test_no_false_detections_failure_free(self, params):
+        problem = build_problem(params, p2p=False)
+        schedule = Solution1Scheduler(problem).run().schedule
+        trace = simulate(schedule)
+        assert trace.detections == []
+
+
+class TestStructuralInvariants:
+    @SLOW
+    @given(params=problem_params, p2p=st.booleans())
+    def test_replica_counts(self, params, p2p):
+        problem = build_problem(params, p2p)
+        for scheduler_class in (Solution1Scheduler, Solution2Scheduler):
+            schedule = scheduler_class(problem).run().schedule
+            for op in problem.algorithm.operation_names:
+                replicas = schedule.replicas(op)
+                assert len(replicas) == problem.replication_degree
+                assert len({r.processor for r in replicas}) == len(replicas)
+
+    @SLOW
+    @given(params=problem_params)
+    def test_solution1_message_bound(self, params):
+        """Section 6.4: at most K+1 logical sends per dependency."""
+        problem = build_problem(params, p2p=False)
+        schedule = Solution1Scheduler(problem).run().schedule
+        per_dep = {}
+        for slot in schedule.comms:
+            if slot.hop == 0:
+                per_dep[slot.dependency] = per_dep.get(slot.dependency, 0) + 1
+        for count in per_dep.values():
+            assert count <= problem.failures + 1
+
+    @SLOW
+    @given(params=problem_params, p2p=st.booleans())
+    def test_problem_json_round_trip(self, params, p2p):
+        problem = build_problem(params, p2p)
+        rebuilt = problem_from_dict(problem_to_dict(problem))
+        assert rebuilt.execution.entries == problem.execution.entries
+        assert rebuilt.communication.entries == problem.communication.entries
+        assert [d.key for d in rebuilt.algorithm.dependencies] == [
+            d.key for d in problem.algorithm.dependencies
+        ]

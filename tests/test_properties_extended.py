@@ -1,0 +1,150 @@
+"""Extended property-based tests: runtime invariants and §6.4 claims.
+
+These complement ``test_properties.py`` with properties over the
+*dynamic* layer (every simulated trace obeys the physical invariants,
+whatever the failure pattern), the degraded-schedule transformation,
+and the functional-correctness oracle.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.degrade import DegradationError, degraded_schedule
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import FailureScenario, simulate
+from repro.sim.values import reference_outputs
+from repro.sim.verify import verify_trace
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_problem = st.fixed_dictionaries(
+    {
+        "operations": st.integers(min_value=6, max_value=12),
+        "processors": st.integers(min_value=3, max_value=4),
+        "failures": st.integers(min_value=1, max_value=2),
+        "seed": st.integers(min_value=0, max_value=5_000),
+    }
+)
+
+
+class TestRuntimeInvariants:
+    @SLOW
+    @given(params=small_problem, scenario_seed=st.integers(0, 10_000))
+    def test_every_trace_obeys_physics_solution1(self, params, scenario_seed):
+        """Whatever crashes (even beyond K): no resource overlap, no
+        dead activity, no causality break in the trace."""
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_bus_problem(**params)
+        schedule = Solution1Scheduler(problem).run().schedule
+        scenario = FailureScenario.random(
+            problem.architecture.processor_names,
+            max_failures=params["processors"] - 1,
+            seed=scenario_seed,
+        )
+        trace = simulate(schedule, scenario)
+        verify_trace(trace, schedule, scenario).raise_if_invalid()
+
+    @SLOW
+    @given(params=small_problem, scenario_seed=st.integers(0, 10_000))
+    def test_every_trace_obeys_physics_solution2(self, params, scenario_seed):
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_p2p_problem(**params)
+        schedule = Solution2Scheduler(problem).run().schedule
+        scenario = FailureScenario.random(
+            problem.architecture.processor_names,
+            max_failures=params["processors"] - 1,
+            seed=scenario_seed,
+        )
+        trace = simulate(schedule, scenario)
+        verify_trace(trace, schedule, scenario).raise_if_invalid()
+
+    @SLOW
+    @given(params=small_problem, scenario_seed=st.integers(0, 10_000))
+    def test_within_k_outputs_match_oracle(self, params, scenario_seed):
+        """Any crash pattern of size <= K, at any dates: completion
+        plus value-exact outputs."""
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_bus_problem(**params)
+        schedule = Solution1Scheduler(problem).run().schedule
+        scenario = FailureScenario.random(
+            problem.architecture.processor_names,
+            max_failures=problem.failures,
+            seed=scenario_seed,
+        )
+        trace = simulate(schedule, scenario)
+        assert trace.completed
+        assert trace.output_values == reference_outputs(problem.algorithm)
+        assert trace.value_anomalies == []
+
+
+class TestDegradedScheduleProperties:
+    @SLOW
+    @given(params=small_problem, victim_index=st.integers(0, 3))
+    def test_degradation_invariants(self, params, victim_index):
+        """For any single victim: the degraded schedule hosts nothing
+        on it, keeps every operation, never gains frames (the §6.4
+        claim), and its timeline is overlap-free."""
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_bus_problem(**params)
+        schedule = Solution1Scheduler(problem).run().schedule
+        procs = problem.architecture.processor_names
+        victim = procs[victim_index % len(procs)]
+        try:
+            degraded = degraded_schedule(schedule, {victim})
+        except DegradationError:
+            # Only possible beyond the schedule's tolerance; with K>=1
+            # a single victim must always be coverable.
+            pytest.fail("single failure must be within tolerance")
+        assert degraded.processor_timeline(victim) == []
+        assert sorted(degraded.operations) == sorted(schedule.operations)
+        assert (
+            degraded.inter_processor_message_count()
+            <= schedule.inter_processor_message_count()
+        )
+        for proc in procs:
+            timeline = degraded.processor_timeline(proc)
+            for first, second in zip(timeline, timeline[1:]):
+                assert first.end <= second.start + 1e-9
+
+    @SLOW
+    @given(params=small_problem)
+    def test_empty_degradation_is_identity(self, params):
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_bus_problem(**params)
+        schedule = Solution1Scheduler(problem).run().schedule
+        degraded = degraded_schedule(schedule, set())
+        assert degraded.makespan == pytest.approx(schedule.makespan)
+        assert len(degraded.comms) == len(schedule.comms)
+
+
+class TestLinkCertificationAgreement:
+    @SLOW
+    @given(params=small_problem)
+    def test_static_link_verdicts_match_simulation(self, params):
+        from repro.core.validate import certify_link_fault_tolerance
+
+        params = dict(params)
+        params["failures"] = min(params["failures"], params["processors"] - 1)
+        problem = random_p2p_problem(**params)
+        schedule = Solution2Scheduler(problem).run().schedule
+        report = certify_link_fault_tolerance(schedule, 1)
+        for outcome in report.outcomes:
+            if not outcome.failed:
+                continue
+            (link,) = outcome.failed
+            trace = simulate(schedule, FailureScenario.link_failure(link))
+            assert trace.completed == outcome.ok, link

@@ -1,0 +1,85 @@
+"""Pinned regression numbers.
+
+Every quantity below was measured on the reproduced system and
+recorded in EXPERIMENTS.md.  Pinning them keeps silent behavioural
+drift out: any future change that shifts a schedule, a timeout, a
+simulated response, or a message count must consciously update both
+this file and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.bounds import makespan_lower_bound
+from repro.analysis.periodic import executive_period_bound, min_period
+from repro.core.degrade import degraded_schedule
+from repro.core.exhaustive import exhaustive_baseline
+from repro.sim import FailureScenario, simulate, transient_then_steady
+
+
+class TestHeadlineNumbers:
+    def test_fig17(self, bus_solution1):
+        assert bus_solution1.makespan == pytest.approx(9.4)
+
+    def test_fig22(self, p2p_solution2):
+        assert p2p_solution2.makespan == pytest.approx(8.9)
+
+    def test_deterministic_baselines(self, bus_baseline, p2p_baseline):
+        # The deterministic tie-break draws (the paper's randomized
+        # draws 8.6 / 8.0 live elsewhere in the family).
+        assert bus_baseline.makespan == pytest.approx(9.6)
+        assert p2p_baseline.makespan == pytest.approx(9.1)
+
+    def test_list_class_optimum(self, bus_problem, p2p_problem):
+        assert exhaustive_baseline(bus_problem).makespan == pytest.approx(8.0)
+        assert exhaustive_baseline(p2p_problem).makespan == pytest.approx(8.0)
+
+    def test_lower_bound(self, bus_problem):
+        assert makespan_lower_bound(bus_problem) == pytest.approx(7.0)
+
+
+class TestSimulatedResponses:
+    def test_failure_free_responses(self, bus_solution1, p2p_solution2):
+        assert simulate(bus_solution1.schedule).response_time == pytest.approx(8.6)
+        assert simulate(p2p_solution2.schedule).response_time == pytest.approx(8.1)
+
+    def test_fig18_story(self, bus_solution1):
+        run = transient_then_steady(bus_solution1.schedule, "P2", 3.0, 1)
+        transient, steady = run.response_times
+        assert transient == pytest.approx(11.45, abs=1e-6)
+        assert steady == pytest.approx(10.3)
+
+    def test_fig23_response(self, p2p_solution2):
+        trace = simulate(
+            p2p_solution2.schedule, FailureScenario.crash("P2", at=3.0)
+        )
+        assert trace.response_time == pytest.approx(10.3)
+
+
+class TestStructuralCounts:
+    def test_static_frames(self, bus_solution1, p2p_solution2):
+        assert bus_solution1.schedule.inter_processor_message_count() == 6
+        assert p2p_solution2.schedule.inter_processor_message_count() == 12
+
+    def test_degraded_frames(self, bus_solution1):
+        degraded = degraded_schedule(bus_solution1.schedule, {"P2"})
+        assert degraded.inter_processor_message_count() == 5
+        assert degraded.makespan == pytest.approx(10.3)
+
+    def test_timeout_table_size(self, bus_solution1):
+        # One rank-0 entry per (communicated dependency, single backup).
+        assert len(bus_solution1.schedule.timeouts) == 6
+
+    def test_rank0_deadline_values(self, bus_solution1):
+        """Spot-check two ladders: static frame end + 1.25 drain."""
+        ladder_ab = bus_solution1.schedule.timeout_ladder("A", ("A", "B"), "P2")
+        assert ladder_ab[0].deadline == pytest.approx(3.5 + 1.25)
+        ladder_de = bus_solution1.schedule.timeout_ladder("D", ("D", "E"), "P3")
+        assert ladder_de[0].deadline == pytest.approx(6.9 + 1.25)
+
+
+class TestThroughputNumbers:
+    def test_periods_p2p(self, p2p_baseline, p2p_solution2):
+        assert min_period(p2p_baseline.schedule) == pytest.approx(6.5)
+        assert min_period(p2p_solution2.schedule) == pytest.approx(8.0)
+        assert executive_period_bound(p2p_baseline.schedule) == pytest.approx(9.1)
+        assert executive_period_bound(p2p_solution2.schedule) == pytest.approx(8.9)

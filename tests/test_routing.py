@@ -1,0 +1,123 @@
+"""Unit tests for static routing."""
+
+import pytest
+
+from repro.graphs.architecture import (
+    Architecture,
+    bus_architecture,
+    fully_connected_architecture,
+)
+from repro.graphs.constraints import CommunicationTable
+from repro.graphs.routing import Route, RoutingError, RoutingTable
+from repro.paper.examples import figure8_architecture
+
+
+class TestRoute:
+    def test_local_route(self):
+        route = Route(("P1",), ())
+        assert route.is_local
+        assert route.hop_count == 0
+        assert route.source == route.destination == "P1"
+        assert "local" in str(route)
+
+    def test_malformed_route_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(("P1", "P2"), ())
+
+    def test_hops(self):
+        route = Route(("P1", "P2", "P3"), ("L12", "L23"))
+        assert route.hops() == [("P1", "P2", "L12"), ("P2", "P3", "L23")]
+        assert route.hop_count == 2
+
+    def test_traverses_only_counts_relays(self):
+        route = Route(("P1", "P2", "P3"), ("L12", "L23"))
+        assert route.traverses("P2")
+        assert not route.traverses("P1")
+        assert not route.traverses("P3")
+
+    def test_transfer_time(self):
+        table = CommunicationTable.uniform_per_dependency(
+            {("a", "b"): 0.5}, ["L12", "L23"]
+        )
+        route = Route(("P1", "P2", "P3"), ("L12", "L23"))
+        assert route.transfer_time(("a", "b"), table) == pytest.approx(1.0)
+
+
+class TestRoutingTable:
+    def test_figure8_routes_through_p2(self):
+        """The paper's Section 5.5 example: P1 <-> P3 relayed by P2."""
+        table = RoutingTable(figure8_architecture())
+        route = table.route("P1", "P3")
+        assert route.processors == ("P1", "P2", "P3")
+        assert route.links == ("L1.2", "L2.3")
+        assert route.traverses("P2")
+
+    def test_self_route_is_local(self):
+        table = RoutingTable(figure8_architecture())
+        assert table.route("P2", "P2").is_local
+
+    def test_bus_is_single_hop_for_all_pairs(self):
+        table = RoutingTable(bus_architecture(["P1", "P2", "P3"]))
+        for src, dst in (("P1", "P2"), ("P1", "P3"), ("P3", "P2")):
+            route = table.route(src, dst)
+            assert route.hop_count == 1
+            assert route.links == ("bus",)
+
+    def test_triangle_direct_links(self):
+        table = RoutingTable(fully_connected_architecture(["P1", "P2", "P3"]))
+        assert table.route("P1", "P3").links == ("L1.3",)
+        assert table.route("P2", "P3").links == ("L2.3",)
+
+    def test_max_hops(self):
+        assert RoutingTable(figure8_architecture()).max_hops() == 2
+        assert RoutingTable(bus_architecture(["P1", "P2"])).max_hops() == 1
+
+    def test_disconnected_architecture_rejected(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        with pytest.raises(Exception):
+            RoutingTable(arch)
+
+    def test_routes_surviving(self):
+        table = RoutingTable(figure8_architecture())
+        surviving = table.routes_surviving({"P2"})
+        # Anything touching P2, including relayed P1<->P3, is gone.
+        assert ("P1", "P3") not in surviving
+        assert ("P1", "P2") not in surviving
+        assert ("P1", "P1") in surviving
+
+    def test_deterministic_tie_break_on_parallel_links(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        arch.add_link("La", "P1", "P2")
+        arch.add_link("Lb", "P1", "P2")
+        table = RoutingTable(arch)
+        # Lexicographically smallest link wins.
+        assert table.route("P1", "P2").links == ("La",)
+
+    def test_route_for_dependency_prefers_cheap_link(self):
+        arch = Architecture()
+        arch.add_processor("P1")
+        arch.add_processor("P2")
+        arch.add_link("La", "P1", "P2")
+        arch.add_link("Lb", "P1", "P2")
+        comm = CommunicationTable()
+        comm.set_duration(("x", "y"), "La", 2.0)
+        comm.set_duration(("x", "y"), "Lb", 0.5)
+        table = RoutingTable(arch)
+        route = table.route_for_dependency("P1", "P2", ("x", "y"), comm)
+        assert route.links == ("Lb",)
+
+    def test_route_for_dependency_local(self):
+        table = RoutingTable(bus_architecture(["P1", "P2"]))
+        comm = CommunicationTable()
+        route = table.route_for_dependency("P1", "P1", ("x", "y"), comm)
+        assert route.is_local
+
+    def test_all_routes_complete(self):
+        arch = figure8_architecture()
+        table = RoutingTable(arch)
+        routes = table.all_routes()
+        assert len(routes) == 9  # 3 processors, ordered pairs + self

@@ -1,0 +1,140 @@
+"""Unit tests for the Solution-1 heuristic (bus-oriented, Section 6)."""
+
+import pytest
+
+from repro.core.schedule import ScheduleSemantics
+from repro.core.solution1 import Solution1Scheduler, schedule_solution1
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.graphs.generators import random_bus_problem
+
+
+class TestReplication:
+    def test_semantics_tag(self, bus_solution1):
+        assert bus_solution1.schedule.semantics is ScheduleSemantics.SOLUTION1
+
+    def test_k_plus_one_replicas(self, bus_solution1, bus_problem):
+        for op in bus_problem.algorithm.operation_names:
+            replicas = bus_solution1.schedule.replicas(op)
+            assert len(replicas) == bus_problem.replication_degree
+
+    def test_replicas_on_distinct_processors(self, bus_solution1):
+        for op in bus_solution1.schedule.operations:
+            procs = bus_solution1.schedule.processors_of(op)
+            assert len(set(procs)) == len(procs)
+
+    def test_main_finishes_first(self, bus_solution1):
+        """mSn.3: the main replica is the earliest-finishing one."""
+        for op in bus_solution1.schedule.operations:
+            replicas = bus_solution1.schedule.replicas(op)
+            main = replicas[0]
+            for backup in replicas[1:]:
+                assert main.end <= backup.end + 1e-9
+
+    def test_extios_respect_pinning(self, bus_solution1):
+        for op in ("I", "O"):
+            assert set(bus_solution1.schedule.processors_of(op)) == {"P1", "P2"}
+
+
+class TestCommunications:
+    def test_only_main_replicas_send(self, bus_solution1):
+        for slot in bus_solution1.schedule.comms:
+            if slot.hop == 0:
+                main = bus_solution1.schedule.main_replica(slot.src_op)
+                assert slot.sender == main.processor
+                assert slot.sender_replica == 0
+
+    def test_at_most_one_frame_per_dependency_on_single_bus(
+        self, bus_solution1, bus_problem
+    ):
+        """On a bus, the main's single broadcast serves everyone:
+        Section 6.4's minimal message count."""
+        for dep in bus_problem.algorithm.dependencies:
+            slots = bus_solution1.schedule.comms_for_dependency(dep.key)
+            assert len(slots) <= 1
+
+    def test_consumers_colocated_with_producer_not_in_destinations(
+        self, bus_solution1
+    ):
+        schedule = bus_solution1.schedule
+        for slot in schedule.comms:
+            for dest in slot.destinations:
+                assert schedule.replica_on(slot.src_op, dest) is None
+
+    def test_sends_start_after_production(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        for slot in schedule.comms:
+            if slot.hop == 0:
+                main = schedule.main_replica(slot.src_op)
+                assert slot.start >= main.end - 1e-9
+
+
+class TestTimeoutTables:
+    def test_ladders_exist_for_replicated_sends(self, bus_solution1, bus_problem):
+        schedule = bus_solution1.schedule
+        assert schedule.timeouts, "K=1 schedule must carry timeout ladders"
+        for entry in schedule.timeouts:
+            replicas = schedule.replicas(entry.op)
+            procs = [r.processor for r in replicas]
+            assert entry.watcher in procs[1:]
+            assert entry.candidate in procs
+            assert procs.index(entry.candidate) == entry.rank
+
+    def test_rank0_deadline_covers_static_frame_end(self, bus_solution1):
+        """The first timeout is the static end of the main's frame plus
+        one drain frame (the least value avoiding spurious elections,
+        Section 6.1, with congestion slack for take-over traffic).
+        On the paper example the largest frame is I->A at 1.25."""
+        schedule = bus_solution1.schedule
+        for entry in schedule.timeouts:
+            if entry.rank == 0:
+                slots = schedule.comms_for_dependency(entry.dependency)
+                frame_end = max(s.end for s in slots)
+                assert entry.deadline == pytest.approx(frame_end + 1.25)
+
+    def test_deadlines_increase_with_rank(self):
+        problem = random_bus_problem(operations=10, processors=4, failures=2, seed=1)
+        schedule = schedule_solution1(problem).schedule
+        by_watch = {}
+        for entry in schedule.timeouts:
+            by_watch.setdefault(
+                (entry.op, entry.dependency, entry.watcher), []
+            ).append(entry)
+        for entries in by_watch.values():
+            entries.sort(key=lambda e: e.rank)
+            for earlier, later in zip(entries, entries[1:]):
+                assert earlier.deadline <= later.deadline + 1e-9
+
+    def test_no_ladder_for_intra_processor_dependency(self, bus_solution1):
+        """Dependencies fully served by local copies need no watchdog."""
+        schedule = bus_solution1.schedule
+        for entry in schedule.timeouts:
+            assert schedule.comms_for_dependency(entry.dependency)
+
+
+class TestValidityAndCertification:
+    def test_paper_example_valid(self, bus_solution1):
+        validate_schedule(bus_solution1.schedule).raise_if_invalid()
+
+    def test_paper_example_certified_k1(self, bus_solution1):
+        certify_fault_tolerance(bus_solution1.schedule).raise_if_invalid()
+
+    def test_random_problems_valid_and_certified(self):
+        for seed in range(4):
+            problem = random_bus_problem(
+                operations=10, processors=4, failures=1, seed=seed
+            )
+            result = schedule_solution1(problem)
+            validate_schedule(result.schedule).raise_if_invalid()
+            certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_k2_on_four_processors(self):
+        problem = random_bus_problem(operations=8, processors=4, failures=2, seed=9)
+        result = schedule_solution1(problem)
+        for op in result.schedule.operations:
+            assert len(result.schedule.replicas(op)) == 3
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_k0_degenerates_to_single_replica(self, bus_problem):
+        result = schedule_solution1(bus_problem.without_fault_tolerance())
+        for op in result.schedule.operations:
+            assert len(result.schedule.replicas(op)) == 1

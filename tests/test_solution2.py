@@ -1,0 +1,114 @@
+"""Unit tests for the Solution-2 heuristic (point-to-point, Section 7)."""
+
+import pytest
+
+from repro.core.schedule import ScheduleSemantics
+from repro.core.solution2 import Solution2Scheduler, schedule_solution2
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.graphs.generators import random_p2p_problem
+
+
+class TestReplication:
+    def test_semantics_tag(self, p2p_solution2):
+        assert p2p_solution2.schedule.semantics is ScheduleSemantics.SOLUTION2
+
+    def test_k_plus_one_replicas(self, p2p_solution2, p2p_problem):
+        for op in p2p_problem.algorithm.operation_names:
+            assert (
+                len(p2p_solution2.schedule.replicas(op))
+                == p2p_problem.replication_degree
+            )
+
+    def test_replicas_on_distinct_processors(self, p2p_solution2):
+        for op in p2p_solution2.schedule.operations:
+            procs = p2p_solution2.schedule.processors_of(op)
+            assert len(set(procs)) == len(procs)
+
+    def test_no_timeouts(self, p2p_solution2):
+        """Solution 2's key property: no timeouts are computed."""
+        assert p2p_solution2.schedule.timeouts == []
+
+
+class TestReplicatedComms:
+    def test_all_replicas_send(self, p2p_solution2, p2p_problem):
+        """Every replica of a producer sends toward consumers lacking a
+        local copy (Section 7.1)."""
+        schedule = p2p_solution2.schedule
+        for dep in p2p_problem.algorithm.dependencies:
+            src_replicas = schedule.replicas(dep.src)
+            src_procs = {r.processor for r in src_replicas}
+            needy = [
+                r.processor
+                for r in schedule.replicas(dep.dst)
+                if r.processor not in src_procs
+            ]
+            slots = [
+                s for s in schedule.comms_for_dependency(dep.key) if s.hop == 0
+            ]
+            if needy:
+                senders = {s.sender_replica for s in slots}
+                assert senders == {r.replica for r in src_replicas}
+            else:
+                assert slots == []
+
+    def test_suppression_rule(self, p2p_solution2):
+        """No comm targets a processor holding a replica of the
+        producer (the intra-processor suppression of Section 7.1)."""
+        schedule = p2p_solution2.schedule
+        for slot in schedule.comms:
+            for dest in slot.destinations:
+                assert schedule.replica_on(slot.src_op, dest) is None
+
+    def test_sends_start_after_their_replica(self, p2p_solution2):
+        schedule = p2p_solution2.schedule
+        for slot in schedule.comms:
+            if slot.hop == 0:
+                sender_replica = schedule.replica_on(slot.src_op, slot.sender)
+                assert sender_replica is not None
+                assert slot.start >= sender_replica.end - 1e-9
+
+    def test_more_messages_than_solution1_would_need(
+        self, p2p_solution2, p2p_problem
+    ):
+        """The communication overhead the paper attributes to
+        Solution 2: more inter-processor frames than dependencies."""
+        assert (
+            p2p_solution2.schedule.inter_processor_message_count()
+            > len(p2p_problem.algorithm.dependencies)
+        )
+
+
+class TestValidityAndCertification:
+    def test_paper_example_valid(self, p2p_solution2):
+        validate_schedule(p2p_solution2.schedule).raise_if_invalid()
+
+    def test_paper_example_certified_k1(self, p2p_solution2):
+        certify_fault_tolerance(p2p_solution2.schedule).raise_if_invalid()
+
+    def test_random_problems_valid_and_certified(self):
+        for seed in range(4):
+            problem = random_p2p_problem(
+                operations=10, processors=4, failures=1, seed=seed
+            )
+            result = schedule_solution2(problem)
+            validate_schedule(result.schedule).raise_if_invalid()
+            certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_k2_on_four_processors(self):
+        problem = random_p2p_problem(operations=8, processors=4, failures=2, seed=5)
+        result = schedule_solution2(problem)
+        for op in result.schedule.operations:
+            assert len(result.schedule.replicas(op)) == 3
+        certify_fault_tolerance(result.schedule).raise_if_invalid()
+
+    def test_k0_degenerates_to_single_replica(self, p2p_problem):
+        result = schedule_solution2(p2p_problem.without_fault_tolerance())
+        for op in result.schedule.operations:
+            assert len(result.schedule.replicas(op)) == 1
+
+    def test_works_on_bus_architecture_with_overhead(self, bus_problem):
+        """Solution 2 runs on a bus too — with serialized extra comms,
+        which is exactly why the paper prefers Solution 1 there."""
+        result = schedule_solution2(bus_problem)
+        validate_schedule(result.schedule).raise_if_invalid()
+        certify_fault_tolerance(result.schedule).raise_if_invalid()

@@ -1,0 +1,68 @@
+"""Tests for the SVG timing-diagram renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import schedule_to_svg, trace_to_svg
+from repro.sim import FailureScenario, simulate
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestScheduleSvg:
+    def test_valid_xml(self, bus_solution1):
+        root = parse(schedule_to_svg(bus_solution1.schedule))
+        assert root.tag.endswith("svg")
+
+    def test_one_box_per_replica_and_comm(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        root = parse(schedule_to_svg(schedule))
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        # Background + replicas + comm slots.
+        expected = 1 + len(schedule.all_replicas()) + len(schedule.comms)
+        assert len(rects) == expected
+
+    def test_main_replicas_drawn_thick(self, bus_solution1):
+        root = parse(schedule_to_svg(bus_solution1.schedule))
+        widths = {
+            rect.get("stroke-width")
+            for rect in root.findall(".//{http://www.w3.org/2000/svg}rect")
+        }
+        assert "2.5" in widths and "1.0" in widths
+
+    def test_title_mentions_makespan(self, bus_solution1):
+        text = schedule_to_svg(bus_solution1.schedule)
+        assert "makespan 9.4" in text
+
+    def test_row_labels_present(self, bus_solution1):
+        text = schedule_to_svg(bus_solution1.schedule)
+        for label in ("P1", "P2", "P3", "bus"):
+            assert f">{label}<" in text
+
+
+class TestTraceSvg:
+    def test_valid_xml_failure_free(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        root = parse(trace_to_svg(trace))
+        assert root.tag.endswith("svg")
+
+    def test_crash_trace_shows_takeovers_and_detections(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule, FailureScenario.crash("P2", 3.0))
+        text = trace_to_svg(trace)
+        parse(text)
+        assert "#ffd9a0" in text  # takeover fill
+        assert "detection:" in text
+
+    def test_aborted_execution_dashed(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule, FailureScenario.crash("P2", 3.5))
+        text = trace_to_svg(trace)
+        if any(not r.completed for r in trace.executions):
+            assert "stroke-dasharray" in text
+
+    def test_incomplete_trace_titled(self, bus_baseline):
+        trace = simulate(bus_baseline.schedule, FailureScenario.crash("P1", 0.0))
+        if not trace.completed:
+            assert "INCOMPLETE" in trace_to_svg(trace)

@@ -1,0 +1,73 @@
+"""Unit tests for the non-fault-tolerant SynDEx baseline."""
+
+import pytest
+
+from repro.core.schedule import ScheduleSemantics
+from repro.core.syndex import SyndexScheduler, schedule_baseline
+from repro.core.validate import validate_schedule
+from repro.graphs.generators import random_bus_problem
+
+
+class TestBaselineShape:
+    def test_semantics_tag(self, bus_baseline):
+        assert bus_baseline.schedule.semantics is ScheduleSemantics.BASELINE
+
+    def test_single_replica_per_operation(self, bus_baseline, bus_problem):
+        for op in bus_problem.algorithm.operation_names:
+            replicas = bus_baseline.schedule.replicas(op)
+            assert len(replicas) == 1
+            assert replicas[0].is_main
+
+    def test_ignores_problem_k(self, bus_problem):
+        """The baseline is runnable on a K=1 problem without stripping
+        the fault-tolerance requirement first."""
+        scheduler = SyndexScheduler(bus_problem)
+        assert scheduler.replication_degree == 1
+        result = scheduler.run()
+        assert all(len(result.schedule.replicas(op)) == 1
+                   for op in result.schedule.operations)
+
+    def test_no_timeouts(self, bus_baseline):
+        assert bus_baseline.schedule.timeouts == []
+
+    def test_valid(self, bus_baseline, p2p_baseline):
+        validate_schedule(bus_baseline.schedule).raise_if_invalid()
+        validate_schedule(p2p_baseline.schedule).raise_if_invalid()
+
+
+class TestBaselineQuality:
+    def test_extios_on_capable_processors(self, bus_baseline):
+        for op in ("I", "O"):
+            proc = bus_baseline.schedule.main_replica(op).processor
+            assert proc in ("P1", "P2")  # P3 cannot run the extios
+
+    def test_at_most_one_send_per_dependency(self, bus_baseline, bus_problem):
+        for dep in bus_problem.algorithm.dependencies:
+            slots = [
+                s
+                for s in bus_baseline.schedule.comms_for_dependency(dep.key)
+                if s.hop == 0
+            ]
+            assert len(slots) <= 1
+
+    def test_colocated_dependency_needs_no_comm(self):
+        problem = random_bus_problem(operations=8, processors=2, failures=0, seed=3)
+        result = schedule_baseline(problem)
+        schedule = result.schedule
+        for dep in problem.algorithm.dependencies:
+            src_proc = schedule.main_replica(dep.src).processor
+            dst_proc = schedule.main_replica(dep.dst).processor
+            slots = schedule.comms_for_dependency(dep.key)
+            if src_proc == dst_proc:
+                assert slots == []
+            else:
+                assert slots
+
+    def test_random_problems_schedule_validly(self):
+        for seed in range(5):
+            problem = random_bus_problem(
+                operations=10, processors=3, failures=0, seed=seed
+            )
+            result = schedule_baseline(problem)
+            validate_schedule(result.schedule).raise_if_invalid()
+            assert result.makespan > 0

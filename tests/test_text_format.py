@@ -1,0 +1,158 @@
+"""Tests for the human-writable .aaa problem format."""
+
+import math
+
+import pytest
+
+from repro.core import schedule_solution1
+from repro.graphs.text_format import (
+    TextFormatError,
+    format_problem,
+    load_problem_text,
+    parse_problem,
+    save_problem_text,
+)
+from repro.paper.examples import first_example_problem
+
+PAPER_TEXT = """
+problem first-example
+failures 1
+
+# algorithm (Figure 7)
+extio I
+comp  A B C D E
+extio O
+dep   I -> A
+dep   A -> B C D
+dep   B -> E
+dep   C -> E
+dep   D -> E
+dep   E -> O
+
+# architecture (Figure 13b)
+proc  P1 P2 P3
+bus   bus: P1 P2 P3
+
+exec  I  P1=1    P2=1    P3=inf
+exec  A  P1=2    P2=2    P3=2
+exec  B  P1=3    P2=1.5  P3=1.5
+exec  C  P1=2    P2=3    P3=1
+exec  D  P1=3    P2=1    P3=1
+exec  E  P1=1    P2=1    P3=1
+exec  O  P1=1.5  P2=1.5  P3=inf
+
+comm  I -> A : 1.25
+comm  A -> B : 0.5
+comm  A -> C : 0.5
+comm  A -> D : 1
+comm  B -> E : 0.5
+comm  C -> E : 0.6
+comm  D -> E : 0.8
+comm  E -> O : 1
+"""
+
+
+class TestParsing:
+    def test_paper_example_parses(self):
+        problem = parse_problem(PAPER_TEXT)
+        problem.check()
+        assert problem.name == "first-example"
+        assert problem.failures == 1
+        assert len(problem.algorithm) == 7
+        assert problem.architecture.is_single_bus
+
+    def test_parsed_problem_equals_programmatic_one(self):
+        parsed = parse_problem(PAPER_TEXT)
+        reference = first_example_problem(failures=1)
+        assert parsed.execution.entries == reference.execution.entries
+        assert parsed.communication.entries == reference.communication.entries
+        assert [d.key for d in parsed.algorithm.dependencies] == [
+            d.key for d in reference.algorithm.dependencies
+        ]
+
+    def test_parsed_problem_schedules_to_fig17(self):
+        parsed = parse_problem(PAPER_TEXT)
+        assert schedule_solution1(parsed).makespan == pytest.approx(9.4)
+
+    def test_fan_out_dep_syntax(self):
+        problem = parse_problem(
+            "comp a b c\ndep a -> b c\nproc P\nexec a P=1\nexec b P=1\n"
+            "exec c P=1\n"
+        )
+        assert problem.algorithm.successors("a") == ["b", "c"]
+
+    def test_mem_with_initial_value(self):
+        problem = parse_problem(
+            "comp a\nmem m=3.5\ndep a -> m\nproc P\nexec a P=1\nexec m P=1\n"
+        )
+        assert problem.algorithm.operation("m").initial_value == 3.5
+
+    def test_per_link_comm(self):
+        text = (
+            "comp a b\ndep a -> b\nproc P Q\nlink L1: P Q\nlink L2: P Q\n"
+            "exec a P=1 Q=1\nexec b P=1 Q=1\n"
+            "comm a -> b @ L1 : 0.5\ncomm a -> b @ L2 : 2.0\n"
+        )
+        problem = parse_problem(text)
+        assert problem.communication.duration(("a", "b"), "L1") == 0.5
+        assert problem.communication.duration(("a", "b"), "L2") == 2.0
+
+    def test_deadline_directive(self):
+        problem = parse_problem(
+            "deadline 12.5\ncomp a\nproc P\nexec a P=1\n"
+        )
+        assert problem.deadline == 12.5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("frobnicate x\n", "unknown directive"),
+            ("comp a\ndep a\nproc P\n", "SRC -> DST"),
+            ("comp a\nproc P\nexec a\n", "exec OP"),
+            ("comp a\nproc P\nexec a P=soon\n", "bad duration"),
+            ("comp a b\ndep a -> b\ncomm a -> b : 1\nproc P\n", "before any link"),
+            ("proc P\nlink L: P\n", "two endpoints"),
+        ],
+    )
+    def test_malformed_documents(self, text, fragment):
+        with pytest.raises(TextFormatError, match=fragment):
+            parse_problem(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_problem("comp a\nfrobnicate\n")
+        except TextFormatError as exc:
+            assert exc.line_no == 2
+        else:  # pragma: no cover
+            pytest.fail("expected TextFormatError")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self, bus_problem):
+        text = format_problem(bus_problem)
+        rebuilt = parse_problem(text)
+        assert rebuilt.execution.entries == bus_problem.execution.entries
+        assert rebuilt.communication.entries == bus_problem.communication.entries
+        assert rebuilt.failures == bus_problem.failures
+
+    def test_round_trip_keeps_infinity(self, bus_problem):
+        rebuilt = parse_problem(format_problem(bus_problem))
+        assert math.isinf(rebuilt.execution.duration("I", "P3"))
+
+    def test_file_round_trip(self, p2p_problem, tmp_path):
+        path = tmp_path / "problem.aaa"
+        save_problem_text(p2p_problem, path)
+        rebuilt = load_problem_text(path)
+        assert rebuilt.communication.entries == p2p_problem.communication.entries
+
+    def test_heterogeneous_comm_round_trip(self):
+        text = (
+            "comp a b\ndep a -> b\nproc P Q\nlink L1: P Q\nlink L2: P Q\n"
+            "exec a P=1 Q=1\nexec b P=1 Q=1\n"
+            "comm a -> b @ L1 : 0.5\ncomm a -> b @ L2 : 2.0\n"
+        )
+        problem = parse_problem(text)
+        rebuilt = parse_problem(format_problem(problem))
+        assert rebuilt.communication.entries == problem.communication.entries

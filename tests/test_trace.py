@@ -1,0 +1,111 @@
+"""Unit tests for execution traces."""
+
+import math
+
+import pytest
+
+from repro.sim.trace import (
+    DetectionRecord,
+    ExecutionRecord,
+    FrameRecord,
+    IterationTrace,
+)
+
+
+def make_trace():
+    trace = IterationTrace(scenario_name="test", expected_outputs=("O",))
+    trace.executions.append(ExecutionRecord("A", "P1", 0.0, 2.0, True))
+    trace.executions.append(ExecutionRecord("A", "P2", 0.0, 2.5, True))
+    trace.executions.append(ExecutionRecord("O", "P1", 3.0, 4.0, True))
+    trace.executions.append(ExecutionRecord("B", "P2", 2.5, 3.0, False))
+    trace.frames.append(
+        FrameRecord(("A", "O"), "P1", ("P2",), "bus", 2.0, 2.5, True)
+    )
+    trace.frames.append(
+        FrameRecord(("A", "O"), "P2", ("P1",), "bus", 2.5, 3.0, False)
+    )
+    trace.frames.append(
+        FrameRecord(("A", "O"), "P2", ("P1",), "bus", 3.0, 3.5, True, takeover=True)
+    )
+    trace.output_times["O"] = 4.0
+    return trace
+
+
+class TestOutcome:
+    def test_completed(self):
+        assert make_trace().completed
+
+    def test_incomplete_when_output_missing(self):
+        trace = make_trace()
+        trace.output_times.clear()
+        assert not trace.completed
+        assert trace.response_time == math.inf
+
+    def test_response_time(self):
+        assert make_trace().response_time == 4.0
+
+    def test_no_outputs_expected(self):
+        trace = IterationTrace(expected_outputs=())
+        assert trace.completed
+        assert trace.response_time == 0.0
+
+    def test_makespan_ignores_lost_work(self):
+        trace = make_trace()
+        # The aborted execution ends at 3.0, the lost frame at 3.0;
+        # last delivered activity is O at 4.0.
+        assert trace.makespan == 4.0
+
+
+class TestCounting:
+    def test_delivered_frames(self):
+        assert make_trace().delivered_frame_count == 2
+
+    def test_takeover_frames(self):
+        takeovers = make_trace().takeover_frames()
+        assert len(takeovers) == 1
+        assert takeovers[0].sender == "P2"
+
+    def test_executed_ops(self):
+        executed = make_trace().executed_ops()
+        assert sorted(executed["A"]) == ["P1", "P2"]
+        assert "B" not in executed  # aborted
+
+    def test_summary(self):
+        summary = make_trace().summary()
+        assert summary["completed"] is True
+        assert summary["frames_sent"] == 3
+        assert summary["frames_delivered"] == 2
+
+
+class TestQueries:
+    def test_executions_on_sorted(self):
+        rows = make_trace().executions_on("P2")
+        assert [r.op for r in rows] == ["A", "B"]
+
+    def test_frames_on(self):
+        assert len(make_trace().frames_on("bus")) == 3
+        assert make_trace().frames_on("ghost") == []
+
+
+class TestRecordStrings:
+    def test_execution_record_marks_abort(self):
+        record = ExecutionRecord("B", "P2", 2.5, 3.0, False)
+        assert "aborted" in str(record)
+        assert record.duration == pytest.approx(0.5)
+
+    def test_frame_record_marks_flags(self):
+        lost = FrameRecord(("A", "B"), "P1", ("P2",), "bus", 0, 1, False)
+        takeover = FrameRecord(
+            ("A", "B"), "P1", ("P2",), "bus", 0, 1, True, takeover=True
+        )
+        assert "lost" in str(lost)
+        assert "takeover" in str(takeover)
+
+    def test_detection_record_str(self):
+        detection = DetectionRecord("A", "P3", "P2", 5.0)
+        assert "P3" in str(detection) and "P2" in str(detection)
+
+    def test_trace_repr(self):
+        assert "response=4" in repr(make_trace())
+        incomplete = IterationTrace(expected_outputs=("O",))
+        assert "incomplete" in repr(incomplete)

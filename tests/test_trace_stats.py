@@ -1,0 +1,91 @@
+"""Tests for the dynamic trace statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.trace_stats import (
+    detection_stats,
+    redundant_delivery_ratio,
+    takeover_lag,
+    utilization,
+)
+from repro.sim import FailureScenario, simulate
+
+
+class TestDetectionStats:
+    def test_crash_detected_after_the_crash(self, bus_solution1):
+        scenario = FailureScenario.crash("P2", at=3.0)
+        trace = simulate(bus_solution1.schedule, scenario)
+        (stats,) = detection_stats(trace, scenario)
+        assert stats.victim == "P2"
+        assert stats.detection_count >= 1
+        assert stats.first_latency > 0
+        assert stats.last_latency >= stats.first_latency
+
+    def test_failure_free_iteration_has_no_stats(self, bus_solution1):
+        scenario = FailureScenario.none()
+        trace = simulate(bus_solution1.schedule, scenario)
+        assert detection_stats(trace, scenario) == []
+
+    def test_undetectable_victim_scores_infinite_latency(self, bus_solution1):
+        """A victim crashing after all its observable duties are done
+        gives the watchdogs nothing to detect in this iteration."""
+        scenario = FailureScenario.crash("P3", at=8.0)
+        trace = simulate(bus_solution1.schedule, scenario)
+        (stats,) = detection_stats(trace, scenario)
+        if stats.detection_count == 0:
+            assert math.isinf(stats.first_latency)
+
+    def test_solution2_never_detects(self, p2p_solution2):
+        scenario = FailureScenario.crash("P2", at=3.0)
+        trace = simulate(p2p_solution2.schedule, scenario)
+        (stats,) = detection_stats(trace, scenario)
+        assert stats.detection_count == 0
+
+
+class TestTakeoverLag:
+    def test_positive_lag_on_early_crash(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule, FailureScenario.crash("P2", 3.0))
+        lag = takeover_lag(trace, 3.0)
+        assert 0 < lag < math.inf
+
+    def test_infinite_without_takeovers(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        assert math.isinf(takeover_lag(trace, 0.0))
+
+
+class TestUtilization:
+    def test_fractions_in_unit_interval(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        for name, fraction in utilization(trace).items():
+            assert 0.0 <= fraction <= 1.0 + 1e-9, name
+
+    def test_covers_processors_and_links(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        names = set(utilization(trace))
+        assert {"P1", "P2", "P3", "bus"} <= names
+
+    def test_dead_processor_uses_less(self, bus_solution1):
+        healthy = utilization(simulate(bus_solution1.schedule))
+        crashed = utilization(
+            simulate(bus_solution1.schedule, FailureScenario.dead_from_start("P3"))
+        )
+        assert crashed.get("P3", 0.0) <= healthy["P3"] + 1e-9
+
+
+class TestRedundancy:
+    def test_solution1_fault_free_not_redundant(self, bus_solution1):
+        trace = simulate(bus_solution1.schedule)
+        assert redundant_delivery_ratio(trace) == 0.0
+
+    def test_solution2_fault_free_is_redundant(self, p2p_solution2):
+        """Section 7.3: 'some communications are not useful in the
+        absence of failures'."""
+        trace = simulate(p2p_solution2.schedule)
+        assert redundant_delivery_ratio(trace) > 0.0
+
+    def test_empty_trace(self):
+        from repro.sim.trace import IterationTrace
+
+        assert redundant_delivery_ratio(IterationTrace()) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the runtime-trace verifier."""
+
+import pytest
+
+from repro.sim import FailureScenario, simulate
+from repro.sim.trace import ExecutionRecord, FrameRecord, IterationTrace
+from repro.sim.verify import verify_trace
+
+
+class TestRealTracesAreClean:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            FailureScenario.none(),
+            FailureScenario.crash("P2", 3.0),
+            FailureScenario.crash("P1", 0.5),
+            FailureScenario.dead_from_start("P3", known=True),
+        ],
+        ids=str,
+    )
+    def test_solution1_traces_verify(self, bus_solution1, scenario):
+        trace = simulate(bus_solution1.schedule, scenario)
+        verify_trace(trace, bus_solution1.schedule, scenario).raise_if_invalid()
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            FailureScenario.none(),
+            FailureScenario.crash("P2", 3.0),
+            FailureScenario.link_failure("L1.2", at=1.0),
+        ],
+        ids=str,
+    )
+    def test_solution2_traces_verify(self, p2p_solution2, scenario):
+        trace = simulate(p2p_solution2.schedule, scenario)
+        verify_trace(trace, p2p_solution2.schedule, scenario).raise_if_invalid()
+
+    def test_baseline_trace_verifies(self, bus_baseline):
+        trace = simulate(bus_baseline.schedule)
+        verify_trace(trace, bus_baseline.schedule).raise_if_invalid()
+
+
+class TestViolationsDetected:
+    def test_processor_overlap(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        trace.executions.append(ExecutionRecord("A", "P1", 0.5, 2.5, True))
+        report = verify_trace(trace, bus_baseline.schedule)
+        assert any(v.rule == "processor-overlap" for v in report.violations)
+
+    def test_link_overlap(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        trace.frames.append(
+            FrameRecord(("I", "A"), "P1", ("P2",), "bus", 1.0, 2.25, True)
+        )
+        trace.frames.append(
+            FrameRecord(("I", "A"), "P1", ("P3",), "bus", 2.0, 3.25, True)
+        )
+        report = verify_trace(trace, bus_baseline.schedule)
+        assert any(v.rule == "link-overlap" for v in report.violations)
+
+    def test_dead_computation(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        scenario = FailureScenario.crash("P1", at=0.5)
+        report = verify_trace(trace, bus_baseline.schedule, scenario)
+        assert any(v.rule == "dead-computation" for v in report.violations)
+
+    def test_missing_input(self, bus_baseline):
+        trace = IterationTrace()
+        # A executes on P2 but I's data never reached P2.
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        trace.executions.append(ExecutionRecord("A", "P2", 1.0, 3.0, True))
+        report = verify_trace(trace, bus_baseline.schedule)
+        assert any(v.rule == "input-causality" for v in report.violations)
+
+    def test_sender_without_data(self, bus_baseline):
+        trace = IterationTrace()
+        trace.frames.append(
+            FrameRecord(("I", "A"), "P2", ("P3",), "bus", 0.0, 1.25, True)
+        )
+        report = verify_trace(trace, bus_baseline.schedule)
+        assert any(v.rule == "sender-possession" for v in report.violations)
+
+    def test_raise_if_invalid(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("A", "P2", 1.0, 3.0, True))
+        report = verify_trace(trace, bus_baseline.schedule)
+        with pytest.raises(AssertionError, match="input-causality"):
+            report.raise_if_invalid()

@@ -1,0 +1,178 @@
+"""Unit tests for schedule validation and K-fault certification."""
+
+import pytest
+
+from repro.core.schedule import (
+    CommSlot,
+    ReplicaPlacement,
+    Schedule,
+    ScheduleSemantics,
+)
+from repro.core.validate import certify_fault_tolerance, validate_schedule
+from repro.paper.examples import first_example_problem
+
+
+def hand_schedule(problem, semantics=ScheduleSemantics.BASELINE):
+    """An empty mutable schedule on the paper's bus problem."""
+    return Schedule(problem, semantics)
+
+
+@pytest.fixture
+def problem():
+    return first_example_problem(failures=0)
+
+
+class TestWellFormedness:
+    def test_missing_operation_reported(self, problem):
+        schedule = hand_schedule(problem)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1)).op
+        report = validate_schedule(schedule.freeze())
+        assert not report.ok
+        assert any(v.rule == "coverage" for v in report.violations)
+
+    def test_wrong_duration_reported(self, problem):
+        schedule = hand_schedule(problem)
+        # I takes 1.0 on P1, not 2.0.
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 2))
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "constraints" for v in report.violations)
+
+    def test_incapable_processor_reported(self, problem):
+        schedule = hand_schedule(problem)
+        # I cannot run on P3.
+        schedule.add_replica(ReplicaPlacement("I", "P3", 0, 1))
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "constraints" for v in report.violations)
+
+    def test_processor_overlap_reported(self, problem):
+        schedule = hand_schedule(problem)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1))
+        schedule.add_replica(ReplicaPlacement("A", "P1", 0.5, 2.5))
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "processor-overlap" for v in report.violations)
+
+    def test_link_overlap_reported(self, problem):
+        schedule = hand_schedule(problem)
+        schedule.add_comm(CommSlot(("I", "A"), "P1", ("P2",), "bus", 1.0, 2.25))
+        schedule.add_comm(CommSlot(("A", "B"), "P2", ("P1",), "bus", 2.0, 2.5))
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "link-overlap" for v in report.violations)
+
+    def test_missing_input_reported(self, problem):
+        schedule = hand_schedule(problem)
+        # A on P2 never receives I (scheduled on P1, no comm).
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1))
+        schedule.add_replica(ReplicaPlacement("A", "P2", 1, 3))
+        report = validate_schedule(schedule.freeze())
+        assert any(
+            v.rule == "causality" and "never reaches" in v.message
+            for v in report.violations
+        )
+
+    def test_late_input_reported(self, problem):
+        schedule = hand_schedule(problem)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1))
+        # Comm delivers at 2.25 but A starts at 1.
+        schedule.add_comm(CommSlot(("I", "A"), "P1", ("P2",), "bus", 1.0, 2.25))
+        schedule.add_replica(ReplicaPlacement("A", "P2", 1, 3))
+        report = validate_schedule(schedule.freeze())
+        assert any(
+            v.rule == "causality" and "arrives at" in v.message
+            for v in report.violations
+        )
+
+    def test_sender_without_data_reported(self, problem):
+        schedule = hand_schedule(problem)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1))
+        # P2 sends I's data without ever holding it.
+        schedule.add_comm(CommSlot(("I", "A"), "P2", ("P3",), "bus", 0.0, 1.25))
+        report = validate_schedule(schedule.freeze())
+        assert any(
+            v.rule == "causality" and "sender" in v.message
+            for v in report.violations
+        )
+
+    def test_election_order_checked(self):
+        problem = first_example_problem(failures=1)
+        schedule = hand_schedule(problem, ScheduleSemantics.SOLUTION1)
+        # Backup (replica 1) finishes before the main: wrong election.
+        schedule.add_replica(ReplicaPlacement("A", "P1", 0, 2, replica=0))
+        schedule.add_replica(ReplicaPlacement("A", "P2", 0, 1.99, replica=1))
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "election" for v in report.violations)
+
+    def test_raise_if_invalid(self, problem):
+        schedule = hand_schedule(problem)
+        report = validate_schedule(schedule.freeze())
+        with pytest.raises(AssertionError, match="coverage"):
+            report.raise_if_invalid()
+
+    def test_valid_report_str(self, bus_baseline):
+        report = validate_schedule(bus_baseline.schedule)
+        assert str(report) == "valid schedule"
+
+
+class TestSemanticsSpecificRules:
+    def test_solution1_rejects_backup_sender(self):
+        problem = first_example_problem(failures=1)
+        schedule = hand_schedule(problem, ScheduleSemantics.SOLUTION1)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1, replica=0))
+        schedule.add_replica(ReplicaPlacement("I", "P2", 0, 1, replica=1))
+        schedule.add_replica(ReplicaPlacement("A", "P1", 1, 3, replica=0))
+        schedule.add_replica(ReplicaPlacement("A", "P3", 2.25, 4.25, replica=1))
+        # The frame comes from P2 (a backup), not the main P1.
+        schedule.add_comm(
+            CommSlot(("I", "A"), "P2", ("P3",), "bus", 1.0, 2.25, sender_replica=1)
+        )
+        report = validate_schedule(schedule.freeze())
+        assert any(v.rule == "solution1-sender" for v in report.violations)
+
+    def test_solution2_missing_replicated_comm(self):
+        problem = first_example_problem(failures=1)
+        schedule = hand_schedule(problem, ScheduleSemantics.SOLUTION2)
+        schedule.add_replica(ReplicaPlacement("I", "P1", 0, 1, replica=0))
+        schedule.add_replica(ReplicaPlacement("I", "P2", 0, 1, replica=1))
+        schedule.add_replica(ReplicaPlacement("A", "P3", 2.25, 4.25, replica=0))
+        schedule.add_replica(ReplicaPlacement("A", "P1", 1, 3, replica=1))
+        # Only one of I's two replicas sends toward P3.
+        schedule.add_comm(
+            CommSlot(("I", "A"), "P1", ("P3",), "bus", 1.0, 2.25, sender_replica=0)
+        )
+        report = validate_schedule(schedule.freeze())
+        # Note: the election rule also fires (P3's A ends after P1's),
+        # but the replication rule must be among the violations.
+        assert any(v.rule == "solution2-replication" for v in report.violations)
+
+    def test_real_schedules_pass_their_rules(self, bus_solution1, p2p_solution2):
+        validate_schedule(bus_solution1.schedule).raise_if_invalid()
+        validate_schedule(p2p_solution2.schedule).raise_if_invalid()
+
+
+class TestCertification:
+    def test_pattern_count(self, bus_solution1):
+        report = certify_fault_tolerance(bus_solution1.schedule)
+        # K=1 on 3 processors: empty pattern + 3 singletons.
+        assert len(report.outcomes) == 4
+
+    def test_baseline_not_fault_tolerant(self, bus_baseline):
+        report = certify_fault_tolerance(bus_baseline.schedule, failures=1)
+        assert not report.ok
+        assert len(report.failing_patterns) >= 1
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+    def test_baseline_tolerates_zero_failures(self, bus_baseline):
+        report = certify_fault_tolerance(bus_baseline.schedule, failures=0)
+        assert report.ok
+
+    def test_lost_operations_reported(self, bus_baseline):
+        report = certify_fault_tolerance(bus_baseline.schedule, failures=1)
+        for outcome in report.failing_patterns:
+            assert outcome.lost_operations
+
+    def test_solution1_not_certified_beyond_k(self, bus_solution1):
+        report = certify_fault_tolerance(bus_solution1.schedule, failures=2)
+        assert not report.ok  # two crashes can kill both replicas
+
+    def test_solution2_certified(self, p2p_solution2):
+        certify_fault_tolerance(p2p_solution2.schedule).raise_if_invalid()

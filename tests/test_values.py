@@ -1,0 +1,166 @@
+"""Functional-correctness tests: replication must be transparent.
+
+The paper's whole construction rests on replicas being exact
+substitutes: whatever fails (within K), the outputs must be the same
+values a failure-free unreplicated execution would have produced.
+These tests verify it end to end through the value-level simulation.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.solution1 import schedule_solution1
+from repro.core.solution2 import schedule_solution2
+from repro.graphs.algorithm import AlgorithmGraph, OperationKind
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.sim import FailureScenario, simulate, simulate_sequence
+from repro.sim.values import compute_value, reference_outputs, sample_input
+
+
+class TestValueSemantics:
+    def test_sample_input_deterministic(self):
+        assert sample_input("I") == sample_input("I")
+        assert sample_input("I", 0) != sample_input("I", 1)
+        assert sample_input("I") != sample_input("J")
+
+    def test_compute_value_depends_on_inputs(self):
+        a = compute_value("X", OperationKind.COMP, {"p": 1})
+        b = compute_value("X", OperationKind.COMP, {"p": 2})
+        assert a != b
+
+    def test_compute_value_depends_on_name(self):
+        a = compute_value("X", OperationKind.COMP, {"p": 1})
+        b = compute_value("Y", OperationKind.COMP, {"p": 1})
+        assert a != b
+
+    def test_mem_uses_initial_value(self):
+        a = compute_value("M", OperationKind.MEM, {"p": 1}, initial_value=0.0)
+        b = compute_value("M", OperationKind.MEM, {"p": 1}, initial_value=1.0)
+        assert a != b
+
+    def test_input_extio_without_inputs_samples(self):
+        assert compute_value("I", OperationKind.EXTIO, {}) == sample_input("I")
+
+    def test_reference_outputs_shape(self, bus_problem):
+        oracle = reference_outputs(bus_problem.algorithm)
+        assert set(oracle) == {"O"}
+
+
+class TestFailureFreeCorrectness:
+    def test_solution1_outputs_match_oracle(self, bus_solution1, bus_problem):
+        trace = simulate(bus_solution1.schedule)
+        assert trace.output_values == reference_outputs(bus_problem.algorithm)
+        assert trace.value_anomalies == []
+
+    def test_solution2_outputs_match_oracle(self, p2p_solution2, p2p_problem):
+        trace = simulate(p2p_solution2.schedule)
+        assert trace.output_values == reference_outputs(p2p_problem.algorithm)
+        assert trace.value_anomalies == []
+
+    def test_baseline_outputs_match_oracle(self, bus_baseline, bus_problem):
+        trace = simulate(bus_baseline.schedule)
+        assert trace.output_values == reference_outputs(bus_problem.algorithm)
+
+
+class TestCorrectnessUnderFailures:
+    @pytest.mark.parametrize("victim", ["P1", "P2", "P3"])
+    @pytest.mark.parametrize("crash_at", [0.0, 3.0, 6.0])
+    def test_solution1_crash_preserves_values(
+        self, bus_solution1, bus_problem, victim, crash_at
+    ):
+        trace = simulate(
+            bus_solution1.schedule, FailureScenario.crash(victim, crash_at)
+        )
+        assert trace.completed
+        assert trace.output_values == reference_outputs(bus_problem.algorithm)
+        assert trace.value_anomalies == []
+
+    @pytest.mark.parametrize("victim", ["P1", "P2", "P3"])
+    def test_solution2_crash_preserves_values(
+        self, p2p_solution2, p2p_problem, victim
+    ):
+        trace = simulate(
+            p2p_solution2.schedule, FailureScenario.crash(victim, 3.0)
+        )
+        assert trace.completed
+        assert trace.output_values == reference_outputs(p2p_problem.algorithm)
+        assert trace.value_anomalies == []
+
+    def test_double_crash_on_k2_preserves_values(self):
+        problem = random_p2p_problem(operations=9, processors=4, failures=2, seed=3)
+        schedule = schedule_solution2(problem).schedule
+        oracle = reference_outputs(problem.algorithm)
+        procs = problem.architecture.processor_names
+        for victims in itertools.combinations(procs, 2):
+            trace = simulate(
+                schedule, FailureScenario.simultaneous(victims, at=1.0)
+            )
+            assert trace.completed
+            assert trace.output_values == oracle, victims
+            assert trace.value_anomalies == []
+
+    def test_random_bus_problems_preserve_values(self):
+        for seed in range(3):
+            problem = random_bus_problem(
+                operations=10, processors=4, failures=1, seed=seed
+            )
+            schedule = schedule_solution1(problem).schedule
+            oracle = reference_outputs(problem.algorithm)
+            for victim in problem.architecture.processor_names:
+                trace = simulate(
+                    schedule, FailureScenario.dead_from_start(victim)
+                )
+                assert trace.output_values == oracle, (seed, victim)
+
+
+class TestIterationDependentInputs:
+    def test_iterations_see_fresh_samples(self, bus_solution1, bus_problem):
+        """Each iteration reacts to new sensor values (the reactive
+        loop of Section 4.2): outputs differ across iterations."""
+        run = simulate_sequence(
+            bus_solution1.schedule,
+            [FailureScenario.none(), FailureScenario.none()],
+        )
+        first, second = run.iterations
+        assert first.output_values != second.output_values
+        assert first.output_values == reference_outputs(
+            bus_problem.algorithm, iteration=0
+        )
+        assert second.output_values == reference_outputs(
+            bus_problem.algorithm, iteration=1
+        )
+
+    def test_mem_operation_value_flows(self):
+        """A mem replica initialized identically computes the same
+        value everywhere (Section 5.4 item 2)."""
+        graph = AlgorithmGraph("with-mem")
+        graph.add_input("I")
+        graph.add_mem("M", initial_value=7.0)
+        graph.add_output("O")
+        graph.add_dependency("I", "M")
+        graph.add_dependency("M", "O")
+
+        from repro.graphs.architecture import bus_architecture
+        from repro.graphs.constraints import CommunicationTable, ExecutionTable
+        from repro.graphs.problem import Problem
+
+        architecture = bus_architecture(["P1", "P2", "P3"])
+        problem = Problem(
+            algorithm=graph,
+            architecture=architecture,
+            execution=ExecutionTable.uniform(
+                ["I", "M", "O"], architecture.processor_names
+            ),
+            communication=CommunicationTable.uniform_per_dependency(
+                {("I", "M"): 0.5, ("M", "O"): 0.5}, architecture.link_names
+            ),
+            failures=1,
+        )
+        schedule = schedule_solution1(problem).schedule
+        oracle = reference_outputs(graph)
+        for victim in ("P1", "P2", "P3"):
+            trace = simulate(schedule, FailureScenario.dead_from_start(victim))
+            assert trace.completed
+            assert trace.output_values == oracle
+            assert trace.value_anomalies == []
