@@ -16,6 +16,8 @@ The public API re-exports the main entry points:
   :func:`schedule_solution1` (bus-oriented, time-redundant comms),
   :func:`schedule_solution2` (point-to-point, replicated comms);
 * validation: :mod:`repro.core.validate`;
+* static analysis: :mod:`repro.lint` (rule-based problem and schedule
+  lints with stable ``FTxxx`` IDs and text/JSON/SARIF output);
 * simulation: :mod:`repro.sim`;
 * reporting: :mod:`repro.analysis`.
 
@@ -51,6 +53,16 @@ from .core import (
     schedule_solution1,
     schedule_solution2,
 )
+from .lint import (
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    Severity,
+    lint,
+    lint_problem,
+    lint_schedule,
+)
+from .tolerance import EPSILON, approx_eq, approx_ge, approx_le
 
 __version__ = "1.0.0"
 
@@ -74,5 +86,16 @@ __all__ = [
     "schedule_baseline",
     "schedule_solution1",
     "schedule_solution2",
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "Severity",
+    "lint",
+    "lint_problem",
+    "lint_schedule",
+    "EPSILON",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
     "__version__",
 ]

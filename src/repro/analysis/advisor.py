@@ -11,7 +11,10 @@ system designer would follow:
    (best-of-seeds) and the faster one recommended;
 3. makespan lower bounds to judge how much room is left;
 4. exhaustive K-fault certification of the recommended schedule;
-5. deadline verdicts for every produced schedule.
+5. deadline verdicts for every produced schedule;
+6. static-analysis lints (:mod:`repro.lint`) over the problem, so the
+   report surfaces advisories (single-bus exposure, idle processors,
+   tight deadlines) alongside the scheduling verdicts.
 
 The result is a plain :class:`Advice` record plus a printable report.
 """
@@ -27,6 +30,7 @@ from ..core.solution2 import Solution2Scheduler
 from ..core.syndex import SyndexScheduler
 from ..core.validate import certify_fault_tolerance
 from ..graphs.problem import InfeasibleProblemError, Problem
+from ..lint import Diagnostic, lint_problem
 from .bounds import makespan_lower_bound
 from .metrics import message_counts
 from .report import Table
@@ -51,6 +55,7 @@ class Advice:
     replicated_lower_bound: float
     certified: bool
     deadline_verdicts: Dict[str, bool]
+    lint_findings: List[Diagnostic] = field(default_factory=list)
 
     @property
     def recommendation(self) -> str:
@@ -114,6 +119,18 @@ class Advice:
             f"{'PASS' if self.certified else 'FAIL'} for the recommended "
             f"schedule"
         )
+        if self.lint_findings:
+            lines.append(
+                f"  static analysis        : "
+                f"{len(self.lint_findings)} finding(s)"
+            )
+            for finding in self.lint_findings:
+                lines.append(
+                    f"    {finding.severity.value.upper()} "
+                    f"{finding.rule}: {finding.message}"
+                )
+        else:
+            lines.append("  static analysis        : clean")
         return "\n".join(lines)
 
 
@@ -170,6 +187,8 @@ def advise(problem: Problem, attempts: int = 16) -> Advice:
         candidates[measured_pick].schedule
     )
 
+    lint_findings = list(lint_problem(problem).sorted())
+
     return Advice(
         problem_name=problem.name,
         feasible=True,
@@ -184,4 +203,5 @@ def advise(problem: Problem, attempts: int = 16) -> Advice:
         replicated_lower_bound=makespan_lower_bound(problem, replicated=True),
         certified=certification.ok,
         deadline_verdicts=deadline_verdicts,
+        lint_findings=lint_findings,
     )

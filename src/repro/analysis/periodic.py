@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Iterable, Optional
 
 from ..core.degrade import DegradationError, degraded_schedule
 from ..core.schedule import Schedule
+from ..tolerance import approx_le
 
 __all__ = [
     "unit_busy_times",
@@ -108,7 +109,7 @@ def can_sustain(
     schedule: Schedule, period: float, pipelined: bool = True
 ) -> bool:
     """True when inputs arriving every ``period`` can be served."""
-    return min_period(schedule, pipelined) <= period + 1e-9
+    return approx_le(min_period(schedule, pipelined), period)
 
 
 def degraded_min_period(

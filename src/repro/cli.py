@@ -8,6 +8,8 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
         [--crash P2@3.0] [--iterations 3] [--period T] [--gantt] [--svg FILE]
     repro-scheduler compare PROBLEM [--best-of N]
     repro-scheduler certify PROBLEM --method solution2
+    repro-scheduler lint [PROBLEM ...] [--paper all] [--method auto] \
+        [--format text|json|sarif] [--suppress FT214,...] [--fail-on error]
     repro-scheduler advise PROBLEM
     repro-scheduler paper [--which first|second|all] [--gantt]
     repro-scheduler figures OUTDIR
@@ -49,6 +51,17 @@ from .core.validate import certify_fault_tolerance, validate_schedule
 from .graphs.io import load_problem, save_problem, schedule_to_dict
 from .graphs.problem import Problem
 from .graphs.text_format import load_problem_text, save_problem_text
+from .lint import (
+    LintConfig,
+    LintReport,
+    Severity,
+    all_rules,
+    lint_problem,
+    lint_schedule,
+    render_text,
+    report_to_json,
+    report_to_sarif,
+)
 from .paper import examples, expected
 from .sim import FailureScenario, simulate, simulate_sequence
 
@@ -87,7 +100,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     schedule = result.schedule
     report = validate_schedule(schedule)
     print(f"method: {args.method}  makespan: {schedule.makespan:g}")
-    print(f"validation: {'ok' if report.ok else report}")
+    if report.ok:
+        print("validation: ok")
+    else:
+        print("validation: FAILED")
+        print(render_text(report.to_lint_report()))
     if args.gantt:
         print(render_schedule(schedule))
     if args.svg:
@@ -100,7 +117,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print(render_executive(schedule))
     if args.json:
         print(json.dumps(schedule_to_dict(schedule), indent=2))
-    return 0
+    return report.to_lint_report().gate()
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -199,12 +216,74 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         f"method: {args.method}  K={problem.failures}  "
         f"certified: {report.ok}"
     )
-    for outcome in report.failing_patterns:
-        print(
-            f"  pattern {sorted(outcome.failed)} loses "
-            f"{list(outcome.lost_operations)}"
-        )
-    return 0 if report.ok else 1
+    lint_report = report.to_lint_report()
+    if not report.ok:
+        print(render_text(lint_report))
+    # Error-level findings gate the exit code so `repro certify` can be
+    # used directly as a CI check.
+    return lint_report.gate()
+
+
+def _auto_method(problem: Problem) -> str:
+    """The paper's architecture-appropriateness rule (Section 5.6)."""
+    if problem.failures == 0:
+        return "baseline"
+    return "solution1" if problem.architecture.has_bus else "solution2"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.id}  {rule.severity.value:7s} {rule.scope.value:8s} "
+                f"{rule.name}: {rule.summary}"
+            )
+        return 0
+
+    targets: List[tuple] = [(path, _load_any(path)) for path in args.problems]
+    if args.paper in ("first", "all"):
+        targets.append(("paper:first", examples.first_example_problem(failures=1)))
+    if args.paper in ("second", "all"):
+        targets.append(("paper:second", examples.second_example_problem(failures=1)))
+    if not targets:
+        print("nothing to lint: give PROBLEM files and/or --paper", file=sys.stderr)
+        return 2
+
+    suppress = {
+        rule_id.strip()
+        for chunk in args.suppress
+        for rule_id in chunk.split(",")
+        if rule_id.strip()
+    }
+    merged = LintReport()
+    for label, problem in targets:
+        config = LintConfig.make(suppress=suppress, source=label)
+        report = lint_problem(problem, config)
+        method = args.method
+        if method == "auto":
+            method = _auto_method(problem)
+        if method != "none" and not report.errors:
+            # A schedule is only meaningful on a sane problem; errors
+            # in the FT1xx pass skip the FT2xx pass for this target.
+            result = _run_method(problem, method, args.best_of)
+            report.merge(lint_schedule(result.schedule, config))
+        merged.merge(report)
+
+    if args.format == "json":
+        output = report_to_json(merged)
+    elif args.format == "sarif":
+        output = report_to_sarif(merged)
+    else:
+        output = render_text(merged)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.format} lint report to {args.output}")
+    else:
+        print(output)
+
+    fail_on = Severity.WARNING if args.fail_on == "warning" else Severity.ERROR
+    return merged.gate(fail_on)
 
 
 def _cmd_paper(args: argparse.Namespace) -> int:
@@ -351,6 +430,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert = sub.add_parser("certify", help="exhaustive K-fault certification")
     add_common(p_cert)
     p_cert.set_defaults(func=_cmd_certify)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: FT1xx problem lints + FT2xx schedule lints",
+    )
+    p_lint.add_argument(
+        "problems", nargs="*", metavar="PROBLEM",
+        help="problem files (.json or .aaa); may be repeated",
+    )
+    p_lint.add_argument(
+        "--paper", choices=("first", "second", "all", "none"), default="none",
+        help="also lint the bundled paper example problem(s)",
+    )
+    p_lint.add_argument(
+        "--method",
+        choices=("auto", "none", *sorted(_METHODS)),
+        default="auto",
+        help="heuristic for the schedule lints (auto follows the paper's "
+        "architecture rule; none lints the problem only)",
+    )
+    p_lint.add_argument(
+        "--best-of", type=int, default=0, metavar="N",
+        help="explore N tie-break seeds before linting the schedule",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif suits CI code-scanning uploads)",
+    )
+    p_lint.add_argument(
+        "--suppress", action="append", default=[], metavar="IDS",
+        help="comma-separated rule IDs to silence (repeatable)",
+    )
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    p_lint.add_argument(
+        "--output", metavar="FILE", default="",
+        help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule reference (ID, severity, scope) and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_advise = sub.add_parser(
         "advise", help="full design advice: heuristic choice, bounds, "

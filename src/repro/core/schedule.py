@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..graphs.problem import Problem
+from ..tolerance import approx_le
 
 __all__ = [
     "ScheduleError",
@@ -395,7 +396,7 @@ class Schedule:
     def meets_deadline(self) -> bool:
         """True when no deadline is set or the makespan honours it."""
         deadline = self.problem.deadline
-        return deadline is None or self.makespan <= deadline + 1e-9
+        return deadline is None or approx_le(self.makespan, deadline)
 
     def processor_load(self, proc: str) -> float:
         """Total busy time of ``proc``'s computation unit."""

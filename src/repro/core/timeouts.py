@@ -54,10 +54,16 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graphs.problem import Problem
+from ..tolerance import approx_ge
 from .schedule import ReplicaPlacement, Schedule, TimeoutEntry
 from .timeline import CommPlanner
 
-__all__ = ["compute_timeout_table", "watch_bound"]
+__all__ = [
+    "compute_timeout_table",
+    "watch_bound",
+    "minimal_timeout_table",
+    "audit_timeout_table",
+]
 
 DependencyKey = Tuple[str, str]
 
@@ -210,3 +216,63 @@ def _ladder_for(
                 )
             )
     return entries
+
+
+# ----------------------------------------------------------------------
+# Soundness audit (used by the FT-lint timeout rule)
+# ----------------------------------------------------------------------
+
+LadderKey = Tuple[str, DependencyKey, str, int]
+
+
+def minimal_timeout_table(schedule: Schedule) -> Dict[LadderKey, float]:
+    """The tightest *sound* deadline for every ladder entry.
+
+    Recomputed from the schedule itself with a zero drain margin: any
+    deadline below this value can expire before the watched frame has
+    certainly been observed, turning an ordinary slow transfer into a
+    mistaken failure detection (the Section 6.1 item 3 hazard).  Keyed
+    by ``(op, dependency, watcher, rank)``.
+    """
+    placement_order = {
+        op: schedule.replicas(op) for op in schedule.operations
+    }
+    entries = compute_timeout_table(
+        schedule.problem,
+        None,
+        placement_order,
+        schedule,
+        drain_margin_frames=0.0,
+    )
+    return {
+        (entry.op, entry.dependency, entry.watcher, entry.rank): entry.deadline
+        for entry in entries
+    }
+
+
+def audit_timeout_table(
+    schedule: Schedule,
+) -> Tuple[List[Tuple[TimeoutEntry, float]], List[LadderKey]]:
+    """Audit a Solution-1 schedule's stored ladder for soundness.
+
+    Returns ``(short, missing)``:
+
+    * ``short`` — stored entries whose deadline undercuts the minimal
+      sound bound of :func:`minimal_timeout_table` (each paired with
+      that bound): the watchdog can fire on a healthy main;
+    * ``missing`` — ladder keys the schedule should carry but does not:
+      the backup has no watchdog for that message and can never take
+      over.
+    """
+    minimal = minimal_timeout_table(schedule)
+    stored: Dict[LadderKey, TimeoutEntry] = {
+        (e.op, e.dependency, e.watcher, e.rank): e
+        for e in schedule.timeouts
+    }
+    short = [
+        (stored[key], bound)
+        for key, bound in minimal.items()
+        if key in stored and not approx_ge(stored[key].deadline, bound)
+    ]
+    missing = sorted(key for key in minimal if key not in stored)
+    return short, missing

@@ -31,30 +31,25 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graphs.routing import RoutingError
+from ..lint.model import Diagnostic, LintReport, Severity
+from ..tolerance import EPSILON, approx_eq, approx_le
 from .schedule import CommSlot, ReplicaPlacement, Schedule, ScheduleSemantics
 
 __all__ = [
     "Violation",
     "ValidationReport",
     "validate_schedule",
+    "availability_events",
     "CertificationReport",
     "certify_fault_tolerance",
     "certify_link_fault_tolerance",
 ]
 
-#: Numerical slack for date comparisons (schedules use float dates).
-EPSILON = 1e-9
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One validation failure: a rule identifier and a description."""
-
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.rule}] {self.message}"
+#: A validation failure IS a diagnostic of the shared model: one rule
+#: identifier, one severity (always ``ERROR`` here — a malformed
+#: schedule must not ship), one description.  The alias keeps the
+#: historical name alive for callers.
+Violation = Diagnostic
 
 
 @dataclass
@@ -68,7 +63,11 @@ class ValidationReport:
         return not self.violations
 
     def add(self, rule: str, message: str) -> None:
-        self.violations.append(Violation(rule, message))
+        self.violations.append(Violation(rule, message, Severity.ERROR))
+
+    def to_lint_report(self) -> LintReport:
+        """The findings as a shared :class:`LintReport`."""
+        return LintReport(findings=list(self.violations))
 
     def raise_if_invalid(self) -> None:
         """Raise ``AssertionError`` listing all violations, if any."""
@@ -87,9 +86,11 @@ def validate_schedule(schedule: Schedule) -> ValidationReport:
     report = ValidationReport()
     _check_coverage(schedule, report)
     _check_placements(schedule, report)
+    _check_election_order(schedule, report)
     _check_exclusive_processors(schedule, report)
     _check_exclusive_links(schedule, report)
-    _check_causality(schedule, report)
+    _check_replica_inputs(schedule, report)
+    _check_slot_senders(schedule, report)
     if schedule.semantics is ScheduleSemantics.SOLUTION1:
         _check_solution1_senders(schedule, report)
     if schedule.semantics is ScheduleSemantics.SOLUTION2:
@@ -130,25 +131,30 @@ def _check_coverage(schedule: Schedule, report: ValidationReport) -> None:
 
 
 def _check_placements(schedule: Schedule, report: ValidationReport) -> None:
-    """Placements respect the distribution constraints, ends ordered."""
+    """Placements respect the distribution constraints."""
     execution = schedule.problem.execution
     for op in schedule.operations:
-        replicas = schedule.replicas(op)
-        for replica in replicas:
+        for replica in schedule.replicas(op):
             duration = execution.duration(op, replica.processor)
             if not math.isfinite(duration):
                 report.add(
                     "constraints",
                     f"{replica}: processor cannot execute this operation",
                 )
-            elif abs(replica.duration - duration) > EPSILON:
+            elif not approx_eq(replica.duration, duration):
                 report.add(
                     "constraints",
                     f"{replica}: duration {replica.duration} differs from "
                     f"the table's {duration}",
                 )
+
+
+def _check_election_order(schedule: Schedule, report: ValidationReport) -> None:
+    """Replica indices follow completion dates (main finishes first)."""
+    for op in schedule.operations:
+        replicas = schedule.replicas(op)
         for earlier, later in zip(replicas, replicas[1:]):
-            if earlier.end > later.end + EPSILON:
+            if not approx_le(earlier.end, later.end):
                 report.add(
                     "election",
                     f"operation {op!r}: replica #{earlier.replica} ends "
@@ -164,7 +170,7 @@ def _check_exclusive_processors(
     for proc in schedule.problem.architecture.processor_names:
         timeline = schedule.processor_timeline(proc)
         for first, second in zip(timeline, timeline[1:]):
-            if first.end > second.start + EPSILON:
+            if not approx_le(first.end, second.start):
                 report.add(
                     "processor-overlap",
                     f"on {proc}: {first} overlaps {second}",
@@ -176,18 +182,20 @@ def _check_exclusive_links(schedule: Schedule, report: ValidationReport) -> None
     for link in schedule.problem.architecture.link_names:
         timeline = schedule.link_timeline(link)
         for first, second in zip(timeline, timeline[1:]):
-            if first.end > second.start + EPSILON:
+            if not approx_le(first.end, second.start):
                 report.add(
                     "link-overlap",
                     f"on {link}: [{first}] overlaps [{second}]",
                 )
 
 
-def _availability_events(schedule: Schedule) -> Dict[Tuple[str, str], float]:
+def availability_events(schedule: Schedule) -> Dict[Tuple[str, str], float]:
     """Earliest date each operation's data exists on each processor.
 
     Combines local replica completions with comm-slot deliveries
-    (hop by hop, so relays count as holders of the data).
+    (hop by hop, so relays count as holders of the data).  Exposed
+    publicly because the lint rules build on the same availability
+    analysis.
     """
     available: Dict[Tuple[str, str], float] = {}
 
@@ -207,11 +215,10 @@ def _availability_events(schedule: Schedule) -> Dict[Tuple[str, str], float]:
     return available
 
 
-def _check_causality(schedule: Schedule, report: ValidationReport) -> None:
-    """Inputs precede executions; senders hold what they send."""
-    available = _availability_events(schedule)
+def _check_replica_inputs(schedule: Schedule, report: ValidationReport) -> None:
+    """Every replica's inputs are available before it starts."""
+    available = availability_events(schedule)
     algorithm = schedule.problem.algorithm
-
     for replica in schedule.all_replicas():
         for pred in algorithm.predecessors(replica.op):
             date = available.get((pred, replica.processor))
@@ -221,13 +228,17 @@ def _check_causality(schedule: Schedule, report: ValidationReport) -> None:
                     f"{replica}: input {pred!r} never reaches "
                     f"{replica.processor}",
                 )
-            elif date > replica.start + EPSILON:
+            elif not approx_le(date, replica.start):
                 report.add(
                     "causality",
                     f"{replica}: input {pred!r} arrives at {date}, after "
                     f"the replica starts at {replica.start}",
                 )
 
+
+def _check_slot_senders(schedule: Schedule, report: ValidationReport) -> None:
+    """Every comm slot's sender holds the data before the slot starts."""
+    available = availability_events(schedule)
     for slot in schedule.comms:
         date = available.get((slot.src_op, slot.sender))
         if date is None:
@@ -236,7 +247,7 @@ def _check_causality(schedule: Schedule, report: ValidationReport) -> None:
                 f"comm {slot}: sender never holds the data of "
                 f"{slot.src_op!r}",
             )
-        elif date > slot.start + EPSILON:
+        elif not approx_le(date, slot.start):
             report.add(
                 "causality",
                 f"comm {slot}: starts at {slot.start} but the sender "
@@ -320,7 +331,7 @@ def _slot_reach(schedule: Schedule, first_hop: CommSlot) -> Set[str]:
         return reached
     frontier = set(first_hop.destinations)
     for slot in schedule.comms_for_dependency(first_hop.dependency):
-        if slot.hop > 0 and slot.sender in frontier and slot.start >= first_hop.end - EPSILON:
+        if slot.hop > 0 and slot.sender in frontier and approx_le(first_hop.end, slot.start):
             reached.update(slot.destinations)
             frontier.update(slot.destinations)
     return reached
@@ -364,6 +375,26 @@ class CertificationReport:
                 f"schedule is not {self.degree}-fault-tolerant; "
                 f"failing patterns: {bad}"
             )
+
+    def diagnostics(self, rule: str = "fault-tolerance") -> List[Diagnostic]:
+        """The failing patterns as shared-model diagnostics."""
+        found = []
+        for outcome in self.failing_patterns:
+            pattern = "{" + ",".join(sorted(outcome.failed)) + "}"
+            found.append(
+                Diagnostic(
+                    rule,
+                    f"failure pattern {pattern} loses "
+                    f"{', '.join(outcome.lost_operations)}",
+                    Severity.ERROR,
+                    subject=pattern,
+                )
+            )
+        return found
+
+    def to_lint_report(self) -> LintReport:
+        """The failing patterns as a shared :class:`LintReport`."""
+        return LintReport(findings=self.diagnostics())
 
 
 def certify_fault_tolerance(

@@ -1,0 +1,86 @@
+"""repro.lint: rule-based static analysis for problems and schedules.
+
+The paper's value proposition is *static* assurance — schedules are
+proven fault-tolerant before deployment.  This subsystem turns that
+assurance into tooling: a registry of identified, suppressible rules
+(``FT1xx`` problem lints, ``FT2xx`` schedule lints) with error /
+warning / info severities, one shared diagnostic model also used by
+:mod:`repro.core.validate` and the certifier, and text / JSON / SARIF
+emitters so ``repro lint`` can gate CI.
+
+Public API::
+
+    from repro.lint import lint_problem, lint_schedule, lint, LintConfig
+
+    report = lint_problem(problem)
+    if not report.ok:
+        print(render_text(report))
+
+See ``docs/lint.md`` for the rule reference.
+
+.. note::
+   Everything beyond the diagnostic model is imported lazily: the
+   rule packs depend on :mod:`repro.core`, which itself reports its
+   violations through :mod:`repro.lint.model` — eager imports here
+   would create a cycle.
+"""
+
+from __future__ import annotations
+
+from .model import Diagnostic, LintReport, Severity
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "LintConfig",
+    "lint",
+    "lint_problem",
+    "lint_schedule",
+    "Rule",
+    "Scope",
+    "all_rules",
+    "get_rule",
+    "rules_for",
+    "render_text",
+    "report_to_json",
+    "report_from_json",
+    "report_to_sarif",
+    "report_from_sarif",
+]
+
+_LAZY = {
+    "LintConfig": "engine",
+    "lint": "engine",
+    "lint_problem": "engine",
+    "lint_schedule": "engine",
+    "Rule": "registry",
+    "Scope": "registry",
+    "all_rules": "registry",
+    "get_rule": "registry",
+    "rules_for": "registry",
+    "render_text": "emitters",
+    "report_to_json": "emitters",
+    "report_from_json": "emitters",
+    "report_to_sarif": "emitters",
+    "report_from_sarif": "emitters",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,170 @@
+"""Report emitters: text for humans, JSON and SARIF for machines.
+
+The JSON format is this project's own stable schema (``version`` +
+``summary`` + ``findings``); SARIF 2.1.0 is the interchange format CI
+platforms (GitHub code scanning, Azure DevOps, …) ingest natively.
+Both machine formats round-trip: ``report_from_json`` /
+``report_from_sarif`` reconstruct an equivalent
+:class:`~repro.lint.model.LintReport` from the emitted text, which the
+tests use to prove no information is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .model import Diagnostic, LintReport, Severity
+from .registry import Rule, all_rules
+
+__all__ = [
+    "render_text",
+    "report_to_json",
+    "report_from_json",
+    "report_to_sarif",
+    "report_from_sarif",
+]
+
+JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+#: Severity <-> SARIF result level.
+_TO_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_FROM_LEVEL = {level: severity for severity, level in _TO_LEVEL.items()}
+
+
+# ----------------------------------------------------------------------
+# Text
+# ----------------------------------------------------------------------
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """A human-readable listing, errors first, with a summary line."""
+    lines: List[str] = []
+    for diagnostic in report.sorted():
+        prefix = diagnostic.severity.value.upper()
+        where = f" ({diagnostic.source})" if diagnostic.source else ""
+        lines.append(
+            f"{prefix:7s} {diagnostic.rule}{where}: {diagnostic.message}"
+        )
+    counts = report.counts()
+    lines.append(
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} advisory(ies)"
+    )
+    if verbose and not report.findings:
+        lines.insert(0, "no findings")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+
+def report_to_json(report: LintReport, indent: Optional[int] = 2) -> str:
+    """The project's own machine-readable schema."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "summary": report.counts(),
+        "findings": [d.to_dict() for d in report.sorted()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def report_from_json(text: str) -> LintReport:
+    """Inverse of :func:`report_to_json`."""
+    payload = json.loads(text)
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint JSON version {payload.get('version')!r}"
+        )
+    return LintReport(
+        findings=[Diagnostic.from_dict(d) for d in payload["findings"]]
+    )
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+
+def _sarif_rule(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _TO_LEVEL[rule.severity]},
+    }
+
+
+def report_to_sarif(report: LintReport, indent: Optional[int] = 2) -> str:
+    """A single-run SARIF 2.1.0 log of the report."""
+    results = []
+    for diagnostic in report.sorted():
+        result: Dict[str, object] = {
+            "ruleId": diagnostic.rule,
+            "level": _TO_LEVEL[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+        }
+        locations: Dict[str, object] = {}
+        if diagnostic.subject:
+            locations["logicalLocations"] = [{"name": diagnostic.subject}]
+        if diagnostic.source:
+            locations["physicalLocation"] = {
+                "artifactLocation": {"uri": diagnostic.source}
+            }
+        if locations:
+            result["locations"] = [locations]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/paper-repro/repro"
+                        ),
+                        "rules": [_sarif_rule(r) for r in all_rules()],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent)
+
+
+def report_from_sarif(text: str) -> LintReport:
+    """Reconstruct a report from a SARIF log emitted by this tool."""
+    log = json.loads(text)
+    if log.get("version") != SARIF_VERSION:
+        raise ValueError(f"unsupported SARIF version {log.get('version')!r}")
+    report = LintReport()
+    for run in log.get("runs", ()):
+        for result in run.get("results", ()):
+            subject = ""
+            source = ""
+            for location in result.get("locations", ()):
+                for logical in location.get("logicalLocations", ()):
+                    subject = logical.get("name", "")
+                physical = location.get("physicalLocation", {})
+                source = physical.get("artifactLocation", {}).get("uri", "")
+            report.add(
+                result["ruleId"],
+                result["message"]["text"],
+                _FROM_LEVEL.get(result.get("level", "error"), Severity.ERROR),
+                subject=subject,
+                source=source,
+            )
+    return report

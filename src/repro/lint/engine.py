@@ -1,0 +1,114 @@
+"""The lint engine: run rule packs over problems and schedules.
+
+The engine selects the registered rules for the artifact's scope,
+applies the :class:`LintConfig` (per-rule suppression and severity
+overrides), and folds every finding into one shared
+:class:`~repro.lint.model.LintReport`.  A rule that crashes does not
+abort the run: the engine converts the exception into a
+``lint-internal`` warning so a single corrupted artifact still gets
+the rest of its diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..core.schedule import Schedule
+from ..graphs.problem import Problem
+from .model import Diagnostic, LintReport, Severity
+from .registry import Rule, Scope, rules_for
+
+__all__ = ["LintConfig", "lint_problem", "lint_schedule", "lint"]
+
+#: Rule tag for findings about the linter itself (a crashed rule).
+INTERNAL_RULE = "lint-internal"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """How a lint run is filtered.
+
+    Attributes
+    ----------
+    suppress:
+        Rule IDs to silence entirely (``{"FT214", "FT108"}``).
+    severity_overrides:
+        Per-rule severity replacements, e.g. demote ``FT215`` to info
+        in a repo that accepts the overhead, or promote a warning to an
+        error for a stricter CI gate.
+    source:
+        Label attached to every finding (a problem name or file path);
+        used when findings of several artifacts are merged.
+    """
+
+    suppress: FrozenSet[str] = frozenset()
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    source: str = ""
+
+    @classmethod
+    def make(
+        cls,
+        suppress: Iterable[str] = (),
+        severity_overrides: Optional[Dict[str, Severity]] = None,
+        source: str = "",
+    ) -> "LintConfig":
+        return cls(
+            suppress=frozenset(suppress),
+            severity_overrides=dict(severity_overrides or {}),
+            source=source,
+        )
+
+
+def _run_rules(
+    subject, scope: Scope, config: Optional[LintConfig]
+) -> LintReport:
+    config = config or LintConfig()
+    report = LintReport()
+    for rule in rules_for(scope):
+        if rule.id in config.suppress:
+            continue
+        try:
+            findings = rule.findings(subject)
+        except Exception as exc:  # a crashed rule must not kill the run
+            report.add(
+                INTERNAL_RULE,
+                f"rule {rule.id} ({rule.name}) crashed: {exc}",
+                Severity.WARNING,
+                source=config.source,
+            )
+            continue
+        for finding in findings:
+            override = config.severity_overrides.get(rule.id)
+            if override is not None:
+                finding = replace(finding, severity=override)
+            if config.source:
+                finding = finding.with_source(config.source)
+            report.findings.append(finding)
+    return report
+
+
+def lint_problem(
+    problem: Problem, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run every problem rule (FT1xx) over ``problem``."""
+    return _run_rules(problem, Scope.PROBLEM, config)
+
+
+def lint_schedule(
+    schedule: Schedule, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run every schedule rule (FT2xx) over ``schedule``."""
+    return _run_rules(schedule, Scope.SCHEDULE, config)
+
+
+def lint(
+    problem: Problem,
+    schedule: Optional[Schedule] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint a problem and, optionally, a schedule produced for it."""
+    report = lint_problem(problem, config)
+    if schedule is not None:
+        report.merge(lint_schedule(schedule, config))
+    return report

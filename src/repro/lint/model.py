@@ -1,0 +1,194 @@
+"""The shared diagnostic model of the static-analysis layer.
+
+Every static check in the project — schedule validation
+(:mod:`repro.core.validate`), K-fault certification, and the lint
+rules of :mod:`repro.lint` — reports its findings as
+:class:`Diagnostic` records collected in a :class:`LintReport`.  One
+model means one reporting layer: the CLI, the emitters (text, JSON,
+SARIF), and CI gates all consume the same objects regardless of which
+analysis produced them.
+
+This module intentionally imports nothing from the rest of the
+package so that :mod:`repro.core` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR``
+        The problem or schedule is wrong: scheduling it, deploying it,
+        or trusting its fault-tolerance claim would fail.  CI gates
+        (non-zero exit codes) trigger on errors.
+    ``WARNING``
+        Suspicious but not provably wrong — worth a designer's look.
+    ``INFO``
+        Advisory only (overhead notes, design reminders).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """Errors sort first, then warnings, then infos."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule identifier, a severity, and a description.
+
+    Attributes
+    ----------
+    rule:
+        Stable identifier of the rule that fired — a lint rule ID
+        (``FT101``) or a legacy validator rule name (``causality``).
+    message:
+        Human-readable description of the specific violation.
+    severity:
+        One of :class:`Severity`; defaults to ``ERROR`` (the validator
+        rules are all hard errors).
+    subject:
+        The entity the finding is about — an operation, processor,
+        link, dependency, or failure-pattern label.  Optional; used by
+        the emitters as the SARIF logical location.
+    source:
+        Which artifact was analyzed (a problem name or file path) when
+        findings from several artifacts are merged in one report.
+    """
+
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    subject: str = ""
+    source: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def with_source(self, source: str) -> "Diagnostic":
+        """A copy of this finding attributed to ``source``."""
+        return replace(self, source=source)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Plain-dict form used by the JSON emitter."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (JSON round-trip)."""
+        return cls(
+            rule=data["rule"],
+            message=data["message"],
+            severity=Severity(data.get("severity", "error")),
+            subject=data.get("subject", ""),
+            source=data.get("source", ""),
+        )
+
+
+@dataclass
+class LintReport:
+    """A collection of findings from one or more analyses."""
+
+    findings: List[Diagnostic] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        rule: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        subject: str = "",
+        source: str = "",
+    ) -> Diagnostic:
+        """Record one finding and return it."""
+        diagnostic = Diagnostic(rule, message, severity, subject, source)
+        self.findings.append(diagnostic)
+        return diagnostic
+
+    def extend(self, findings: Iterable[Diagnostic]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Fold ``other``'s findings into this report (in place)."""
+        self.findings.extend(other.findings)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when the report holds no error-level finding."""
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity is Severity.INFO]
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        """All findings of one rule."""
+        return [d for d in self.findings if d.rule == rule]
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        """Findings at ``severity`` or more serious."""
+        return [d for d in self.findings if d.severity.rank <= severity.rank]
+
+    def sorted(self) -> List[Diagnostic]:
+        """Findings ordered by severity, then rule, then subject."""
+        return sorted(
+            self.findings, key=lambda d: (d.severity.rank, d.rule, d.subject)
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}``."""
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    def gate(self, fail_on: Severity = Severity.ERROR) -> int:
+        """CI exit code: 1 when findings at/above ``fail_on`` exist."""
+        return 1 if self.at_least(fail_on) else 0
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __str__(self) -> str:
+        if not self.findings:
+            return "no findings"
+        return "\n".join(str(d) for d in self.sorted())

@@ -1,0 +1,130 @@
+"""Rule registry: stable IDs, severities, scopes, and registration.
+
+A lint *rule* is a named static check with
+
+* a stable identifier (``FT101``) that suppressions, CI baselines and
+  docs refer to — IDs are never reused once shipped;
+* a default :class:`~repro.lint.model.Severity`;
+* a *scope*: problem rules inspect a :class:`~repro.graphs.problem.Problem`
+  before any scheduling; schedule rules inspect a produced
+  :class:`~repro.core.schedule.Schedule`;
+* a check function yielding :class:`~repro.lint.model.Diagnostic`
+  findings (the engine normalizes severity and rule tags).
+
+Rule packs register themselves with the :func:`rule` decorator at
+import time; :func:`all_rules` drives the engine and the docs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .model import Diagnostic, Severity
+
+__all__ = ["Scope", "Rule", "rule", "all_rules", "rules_for", "get_rule"]
+
+
+class Scope(enum.Enum):
+    """What kind of artifact a rule inspects."""
+
+    PROBLEM = "problem"
+    SCHEDULE = "schedule"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    id: str
+    name: str
+    severity: Severity
+    scope: Scope
+    summary: str
+    check: Callable[..., Iterable[Diagnostic]]
+
+    def findings(self, subject) -> List[Diagnostic]:
+        """Run the rule and normalize its findings.
+
+        The check function may yield :class:`Diagnostic` objects (whose
+        ``rule`` tag and severity are preserved if set explicitly) or
+        plain ``(message, subject)`` tuples / bare message strings,
+        which are wrapped with this rule's ID and default severity.
+        """
+        produced = self.check(subject)
+        normalized: List[Diagnostic] = []
+        for item in produced or ():
+            if isinstance(item, Diagnostic):
+                if item.rule:
+                    normalized.append(item)
+                else:
+                    normalized.append(
+                        Diagnostic(
+                            self.id, item.message, item.severity, item.subject
+                        )
+                    )
+            elif isinstance(item, tuple):
+                message, about = item
+                normalized.append(
+                    Diagnostic(self.id, message, self.severity, about)
+                )
+            else:
+                normalized.append(Diagnostic(self.id, str(item), self.severity))
+        return normalized
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    id: str,
+    name: str,
+    severity: Severity,
+    scope: Scope,
+    summary: str,
+) -> Callable[[Callable], Callable]:
+    """Class decorator registering a check function as a lint rule."""
+
+    def register(check: Callable) -> Callable:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule ID {id!r}")
+        _REGISTRY[id] = Rule(
+            id=id,
+            name=name,
+            severity=severity,
+            scope=scope,
+            summary=summary,
+            check=check,
+        )
+        return check
+
+    return register
+
+
+def _ensure_packs_loaded() -> None:
+    """Import the shipped rule packs (idempotent)."""
+    from . import problem_rules, schedule_rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by ID."""
+    _ensure_packs_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def rules_for(scope: Scope) -> List[Rule]:
+    """The registered rules of one scope, sorted by ID."""
+    return [r for r in all_rules() if r.scope is scope]
+
+
+def get_rule(id: str) -> Rule:
+    """Look a rule up by its stable ID."""
+    _ensure_packs_loaded()
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {id!r}") from None

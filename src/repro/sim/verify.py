@@ -23,12 +23,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.schedule import Schedule
+from ..tolerance import EPSILON
 from .faults import FailureScenario
 from .trace import IterationTrace
 
 __all__ = ["TraceViolation", "TraceReport", "verify_trace"]
-
-EPSILON = 1e-9
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,30 @@
+"""Shared float-comparison tolerance for all static analyses.
+
+Schedules use float dates, so every date comparison in the validator,
+the timeout computations, and the lint rules must allow a small slack.
+One epsilon shared by all of them keeps the analyses consistent: a
+schedule accepted by :func:`repro.core.validate.validate_schedule`
+is also accepted by ``repro lint`` and vice versa.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPSILON", "approx_le", "approx_ge", "approx_eq"]
+
+#: Numerical slack for date comparisons (schedules use float dates).
+EPSILON = 1e-9
+
+
+def approx_le(a: float, b: float, eps: float = EPSILON) -> bool:
+    """``a <= b`` up to the shared tolerance."""
+    return a <= b + eps
+
+
+def approx_ge(a: float, b: float, eps: float = EPSILON) -> bool:
+    """``a >= b`` up to the shared tolerance."""
+    return a >= b - eps
+
+
+def approx_eq(a: float, b: float, eps: float = EPSILON) -> bool:
+    """``a == b`` up to the shared tolerance."""
+    return abs(a - b) <= eps

@@ -5,6 +5,13 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.graphs import (
+    AlgorithmGraph,
+    Architecture,
+    CommunicationTable,
+    ExecutionTable,
+    Problem,
+)
 from repro.graphs.io import save_problem
 from repro.paper.examples import first_example_problem
 
@@ -137,6 +144,12 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "makespan: 9.4" in out
 
+    def test_certify_emits_findings_on_failure(self, problem_file, capsys):
+        main(["certify", problem_file, "--method", "baseline"])
+        out = capsys.readouterr().out
+        assert "certified: False" in out
+        assert "fault-tolerance" in out  # the diagnostic rule tag
+
     def test_best_of_improves_or_matches(self, problem_file, capsys):
         main(["schedule", problem_file, "--method", "baseline"])
         base = capsys.readouterr().out
@@ -148,3 +161,107 @@ class TestOtherCommands:
             return float(text.split(marker)[1].split()[0])
 
         assert makespan(best) <= makespan(base)
+
+
+def _idle_processor_problem():
+    """``a -> b`` plus a relay processor nothing can execute on."""
+    algorithm = AlgorithmGraph("chain")
+    algorithm.add_comp("a")
+    algorithm.add_comp("b")
+    algorithm.add_dependency("a", "b")
+    architecture = Architecture("trio")
+    for proc in ("P1", "P2", "P3"):
+        architecture.add_processor(proc)
+    architecture.add_link("L12", "P1", "P2")
+    architecture.add_link("L13", "P1", "P3")
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=ExecutionTable.uniform(("a", "b"), ("P1", "P2")),
+        communication=CommunicationTable.uniform_per_dependency(
+            {("a", "b"): 0.5}, ["L12", "L13"]
+        ),
+        name="idle-relay",
+    )
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def bad_deadline_file(self, tmp_path):
+        problem = first_example_problem(failures=1)
+        problem.deadline = 0.5  # far below the makespan lower bound
+        path = tmp_path / "bad.json"
+        save_problem(problem, path)
+        return str(path)
+
+    @pytest.fixture
+    def warning_file(self, tmp_path):
+        path = tmp_path / "idle.json"
+        save_problem(_idle_processor_problem(), path)
+        return str(path)
+
+    def test_clean_problem_exits_zero(self, problem_file, capsys):
+        assert main(["lint", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_paper_problems_lint_clean(self, capsys):
+        assert main(["lint", "--paper", "all"]) == 0
+
+    def test_no_targets_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_error_findings_gate_the_exit_code(self, bad_deadline_file, capsys):
+        assert main(["lint", bad_deadline_file]) == 1
+        assert "FT105" in capsys.readouterr().out
+
+    def test_suppression_clears_the_gate(self, bad_deadline_file, capsys):
+        # With FT105 silenced the schedule pass runs and FT213 flags
+        # the same impossible deadline; both must go for a clean gate.
+        assert main(
+            ["lint", bad_deadline_file, "--suppress", "FT105,FT213"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FT105" not in out and "FT213" not in out
+
+    def test_fail_on_warning_promotes_the_gate(self, warning_file, capsys):
+        assert main(["lint", warning_file]) == 0
+        capsys.readouterr()
+        assert main(["lint", warning_file, "--fail-on", "warning"]) == 1
+        assert "FT107" in capsys.readouterr().out
+
+    def test_json_format_parses(self, problem_file, capsys):
+        assert main(["lint", problem_file, "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["error"] == 0
+
+    def test_sarif_format_parses(self, problem_file, capsys):
+        assert main(["lint", problem_file, "--format", "sarif"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["version"] == "2.1.0"
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert any(rule["id"] == "FT101" for rule in driver["rules"])
+
+    def test_output_file(self, problem_file, tmp_path, capsys):
+        target = tmp_path / "report.sarif"
+        assert main(
+            ["lint", problem_file, "--format", "sarif", "--output", str(target)]
+        ) == 0
+        assert json.loads(target.read_text())["version"] == "2.1.0"
+        assert str(target) in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "FT101" in out and "FT215" in out
+
+    def test_lint_sources_label_findings(self, warning_file, capsys):
+        main(["lint", warning_file, "--format", "json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        sources = {f["source"] for f in payload["findings"]}
+        assert sources == {warning_file}

@@ -38,6 +38,14 @@ MODULES = [
     "repro.core.validate",
     "repro.core.degrade",
     "repro.core.exhaustive",
+    "repro.tolerance",
+    "repro.lint",
+    "repro.lint.model",
+    "repro.lint.registry",
+    "repro.lint.engine",
+    "repro.lint.problem_rules",
+    "repro.lint.schedule_rules",
+    "repro.lint.emitters",
     "repro.sim",
     "repro.sim.engine",
     "repro.sim.faults",
