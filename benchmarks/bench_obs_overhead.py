@@ -1,0 +1,143 @@
+"""Experiment A6: disabled instrumentation must be (nearly) free.
+
+The observability layer (:mod:`repro.obs`) threads metric counts and
+spans through the schedulers and the simulation executive.  Its
+contract is that when nobody is profiling — the default — those
+instrumentation points cost **less than 5% of the scheduling time**.
+
+Measuring that directly by A/B timing is hopeless at millisecond
+scale, so the bench does it from first principles:
+
+1. count the exact number of instrumentation-point *invocations* one
+   scheduling + simulation run makes, with a proxy instrumentation
+   that increments a plain integer per call;
+2. measure the per-call cost of the *disabled* primitives (a boolean
+   check, possibly handing out the shared null span);
+3. assert ``invocations x per-call cost < 5%`` of the measured
+   run time with instrumentation disabled.
+
+An enabled-vs-disabled A/B timing is also printed for context (not
+asserted: enabled profiling is allowed to cost what it costs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.solution1 import Solution1Scheduler
+from repro.graphs.generators import random_bus_problem
+from repro.obs import NULL_SPAN, Instrumentation, install, instrumented
+from repro.obs.runtime import get_instrumentation
+from repro.sim import simulate
+
+from conftest import emit
+
+#: Paper-scale workload: large enough that a run is not pure overhead.
+PROBLEM = dict(operations=30, processors=6, failures=1, seed=3)
+
+
+class CallCountingInstrumentation(Instrumentation):
+    """Counts instrumentation-point invocations, records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+        self.calls = 0
+
+    def count(self, name, amount=1.0):
+        self.calls += 1
+
+    def gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, value):
+        self.calls += 1
+
+    def span(self, name, **args):
+        self.calls += 1
+        return NULL_SPAN
+
+    def timer(self, name):
+        self.calls += 1
+        return NULL_SPAN
+
+
+def run_workload(problem) -> None:
+    result = Solution1Scheduler(problem).run()
+    simulate(result.schedule)
+
+
+def count_instrumentation_calls(problem) -> int:
+    proxy = CallCountingInstrumentation()
+    previous = install(proxy)
+    try:
+        run_workload(problem)
+    finally:
+        install(previous)
+    return proxy.calls
+
+
+def best_of(callable_, repeats: int, number: int = 1) -> float:
+    """Minimum per-invocation seconds over ``repeats`` batches."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(number):
+            callable_()
+        best = min(best, (time.perf_counter() - started) / number)
+    return best
+
+
+def per_call_disabled_cost() -> float:
+    """Seconds per disabled instrumentation call (pessimistic mix)."""
+    obs = get_instrumentation()
+    assert not obs.enabled
+
+    def one_batch() -> None:
+        for _ in range(1000):
+            obs.count("bench.noop")
+            with obs.span("bench.noop", op="x"):
+                pass
+
+    # Each batch is 2000 instrumentation calls (span is the pricier
+    # of the two: context-manager protocol on the shared null span).
+    return best_of(one_batch, repeats=20) / 2000
+
+
+def test_disabled_overhead_below_five_percent():
+    problem = random_bus_problem(**PROBLEM)
+    calls = count_instrumentation_calls(problem)
+    assert calls > 100  # the workload is genuinely instrumented
+
+    per_call = per_call_disabled_cost()
+    run_seconds = best_of(lambda: run_workload(problem), repeats=5)
+    overhead = calls * per_call
+    fraction = overhead / run_seconds
+
+    emit(
+        f"A6 - disabled-instrumentation overhead: {calls} calls x "
+        f"{per_call * 1e9:.0f}ns = {overhead * 1e6:.1f}us over a "
+        f"{run_seconds * 1e3:.2f}ms run = {100 * fraction:.2f}%"
+    )
+    assert fraction < 0.05, (
+        f"disabled instrumentation costs {100 * fraction:.1f}% of the "
+        f"scheduling time (budget: 5%)"
+    )
+
+
+def test_enabled_vs_disabled_ab(benchmark):
+    """Informational: what full profiling costs (not asserted)."""
+    problem = random_bus_problem(**PROBLEM)
+    disabled = best_of(lambda: run_workload(problem), repeats=5)
+
+    def enabled_run() -> None:
+        with instrumented():
+            run_workload(problem)
+
+    benchmark(enabled_run)
+    enabled = best_of(enabled_run, repeats=5)
+    emit(
+        f"A6 - enabled profiling A/B: disabled {disabled * 1e3:.2f}ms, "
+        f"enabled {enabled * 1e3:.2f}ms "
+        f"({100 * (enabled / disabled - 1):+.1f}%)"
+    )
+    assert enabled > 0

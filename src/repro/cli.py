@@ -2,12 +2,18 @@
 
 Usage (installed as ``repro-scheduler``, or ``python -m repro``):
 
+    repro-scheduler [-v|-vv|--quiet] COMMAND ...
+
     repro-scheduler schedule PROBLEM --method solution1 \
         [--best-of N] [--gantt] [--svg FILE] [--executive] [--json]
     repro-scheduler simulate PROBLEM --method solution1 \
         [--crash P2@3.0] [--iterations 3] [--period T] [--gantt] [--svg FILE]
     repro-scheduler compare PROBLEM [--best-of N]
     repro-scheduler certify PROBLEM --method solution2
+    repro-scheduler profile [PROBLEM] [--paper fig17] --method solution1 \
+        [--crash P2@3.0] [--obs-out out.trace.json] [--metrics-out m.json]
+    repro-scheduler explain [PROBLEM] [--paper fig17] --method solution1 \
+        [--op NAME] [--full]
     repro-scheduler lint [PROBLEM ...] [--paper all] [--method auto] \
         [--format text|json|sarif] [--suppress FT214,...] [--fail-on error]
     repro-scheduler advise PROBLEM
@@ -19,13 +25,25 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
 text file (:mod:`repro.graphs.text_format`), chosen by extension; the
 ``export-example`` command writes the paper's examples in either
 format so users have a template to start from.
+
+Observability: ``profile`` runs a schedule + simulation under full
+instrumentation and reports the metrics registry, the span summary and
+(with ``--obs-out``) a Chrome trace-event JSON; ``explain`` prints the
+per-operation placement rationale from the scheduler's decision log.
+``schedule``/``simulate``/``compare``/``certify`` accept ``--obs-out``
+to capture a trace of a normal run, and ``--obs-off`` forces
+instrumentation off.  The global ``-v``/``-vv``/``--quiet`` flags (put
+them *before* the subcommand) set the ``repro`` log level to
+INFO/DEBUG/ERROR; see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .analysis import (
@@ -62,6 +80,7 @@ from .lint import (
     report_to_json,
     report_to_sarif,
 )
+from .obs import instrumented
 from .paper import examples, expected
 from .sim import FailureScenario, simulate, simulate_sequence
 
@@ -72,11 +91,89 @@ _METHODS = {
 }
 
 
+#: ``--paper`` aliases accepted by ``profile`` and ``explain``: the
+#: figure numbers of the paper and plain ordinals both work.
+_PAPER_ALIASES = {
+    "fig17": examples.first_example_problem,
+    "first": examples.first_example_problem,
+    "fig22": examples.second_example_problem,
+    "second": examples.second_example_problem,
+}
+
+
 def _load_any(path: str) -> Problem:
     """Load a problem by extension: .aaa text format, else JSON."""
     if path.endswith(".aaa"):
         return load_problem_text(path)
     return load_problem(path)
+
+
+def _resolve_problem(args: argparse.Namespace) -> Problem:
+    """A problem from the optional positional file or ``--paper`` alias."""
+    if getattr(args, "paper", ""):
+        return _PAPER_ALIASES[args.paper](failures=1)
+    if getattr(args, "problem", None):
+        return _load_any(args.problem)
+    raise SystemExit("error: give a PROBLEM file or --paper fig17|fig22")
+
+
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Wire the ``repro`` logger hierarchy to stderr.
+
+    ``--quiet`` -> ERROR, default -> WARNING, ``-v`` -> INFO,
+    ``-vv`` -> DEBUG.  Idempotent across repeated :func:`main` calls
+    (tests invoke it many times in one process).
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    if logger.handlers:
+        handler = logger.handlers[0]
+    else:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    # Rebind to the *current* stderr: test harnesses swap (and close)
+    # the stream between invocations, and a stale handle would swallow
+    # the logs.  Plain assignment — setStream() flushes the old stream,
+    # which may already be closed.
+    if isinstance(handler, logging.StreamHandler):
+        handler.stream = sys.stderr
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace):
+    """Run a command under instrumentation when ``--obs-out`` asks for it.
+
+    Commands that manage their own session (``profile``) opt out via
+    the ``obs_managed`` parser default; ``--obs-off`` wins over
+    ``--obs-out``.
+    """
+    obs_out = getattr(args, "obs_out", "")
+    if (
+        not obs_out
+        or getattr(args, "obs_off", False)
+        or getattr(args, "obs_managed", False)
+    ):
+        yield None
+        return
+    with instrumented() as instr:
+        yield instr
+    count = instr.tracer.write_chrome_trace(obs_out)
+    print(
+        f"wrote {count} trace events to {obs_out} "
+        "(open in ui.perfetto.dev or chrome://tracing)"
+    )
 
 
 def _run_method(problem: Problem, method: str, best_of: int) -> ScheduleResult:
@@ -286,6 +383,73 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return merged.gate(fail_on)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    problem = _resolve_problem(args)
+    method = args.method if args.method != "auto" else _auto_method(problem)
+    scenario = _parse_crash(args.crash) if args.crash else FailureScenario.none()
+
+    if args.obs_off:
+        result = _run_method(problem, method, args.best_of)
+        trace = simulate(result.schedule, scenario)
+        print(
+            f"method: {method}  makespan: {result.makespan:g}  "
+            f"response: {trace.response_time:g}  completed: {trace.completed}"
+        )
+        print("instrumentation disabled (--obs-off): nothing recorded")
+        return 0
+
+    with instrumented() as instr:
+        with instr.span("profile", method=method):
+            with instr.timer("profile.schedule_s"):
+                result = _run_method(problem, method, args.best_of)
+            with instr.timer("profile.simulate_s"):
+                for _ in range(max(args.iterations, 1)):
+                    trace = simulate(result.schedule, scenario)
+    print(
+        f"method: {method}  makespan: {result.makespan:g}  "
+        f"response: {trace.response_time:g}  completed: {trace.completed}"
+    )
+    print()
+    print(instr.registry.render_table(title="metrics"))
+    print()
+    print(instr.tracer.render_summary())
+    if args.obs_out:
+        count = instr.tracer.write_chrome_trace(args.obs_out)
+        print(
+            f"wrote {count} trace events to {args.obs_out} "
+            "(open in ui.perfetto.dev or chrome://tracing)"
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            if args.metrics_out.endswith(".csv"):
+                handle.write(instr.registry.to_csv())
+            else:
+                json.dump(instr.registry.to_dict(), handle, indent=2)
+                handle.write("\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    problem = _resolve_problem(args)
+    method = args.method if args.method != "auto" else _auto_method(problem)
+    result = _run_method(problem, method, args.best_of)
+    log = result.decisions
+    if log is None or not log.records:
+        print("no decision log: the scheduler recorded no decisions")
+        return 1
+    if args.op:
+        try:
+            print(log.rationale(args.op).render(verbose=args.full))
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        print(f"method: {method}  makespan: {result.makespan:g}")
+        print(log.render(verbose=args.full))
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     rows: List[ComparisonRow] = []
     if args.which in ("first", "all"):
@@ -371,6 +535,15 @@ def build_parser() -> argparse.ArgumentParser:
             "ICDCS 2001)"
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO (-v) or DEBUG (-vv) from the repro loggers to "
+        "stderr; put the flag before the subcommand",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="log errors only (overrides -v)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser, with_method: bool = True) -> None:
@@ -390,8 +563,42 @@ def build_parser() -> argparse.ArgumentParser:
             help="explore N tie-break seeds and keep the best makespan",
         )
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--obs-out", metavar="FILE", default="",
+            help="run under instrumentation and write a Chrome trace-event "
+            "JSON to FILE (load in ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--obs-off", action="store_true",
+            help="force instrumentation off (wins over --obs-out)",
+        )
+
+    def add_paper_target(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "problem", nargs="?", default="",
+            help="problem file (.json or .aaa); omit with --paper",
+        )
+        p.add_argument(
+            "--paper", choices=sorted(_PAPER_ALIASES), default="",
+            help="use a bundled paper example instead of a file "
+            "(fig17/first = bus, fig22/second = point-to-point)",
+        )
+        p.add_argument(
+            "--method",
+            choices=("auto", *sorted(_METHODS)),
+            default="auto",
+            help="scheduling heuristic (auto follows the paper's "
+            "architecture rule)",
+        )
+        p.add_argument(
+            "--best-of", type=int, default=0, metavar="N",
+            help="explore N tie-break seeds and keep the best makespan",
+        )
+
     p_schedule = sub.add_parser("schedule", help="produce a static schedule")
     add_common(p_schedule)
+    add_obs_flags(p_schedule)
     p_schedule.add_argument("--gantt", action="store_true")
     p_schedule.add_argument("--json", action="store_true")
     p_schedule.add_argument(
@@ -406,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="simulate iterations with crashes")
     add_common(p_sim)
+    add_obs_flags(p_sim)
     p_sim.add_argument(
         "--crash", default="", metavar="PROC[@T]",
         help="crash scenario, e.g. P2@3.0 (or P2 for dead-from-start)",
@@ -425,11 +633,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="overheads vs the baseline")
     add_common(p_cmp, with_method=False)
+    add_obs_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_cert = sub.add_parser("certify", help="exhaustive K-fault certification")
     add_common(p_cert)
+    add_obs_flags(p_cert)
     p_cert.set_defaults(func=_cmd_certify)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="schedule + simulate under instrumentation: metrics table, "
+        "span summary, Chrome trace",
+    )
+    add_paper_target(p_profile)
+    add_obs_flags(p_profile)
+    p_profile.add_argument(
+        "--crash", default="", metavar="PROC[@T]",
+        help="simulate under a crash scenario, e.g. P2@3.0",
+    )
+    p_profile.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="simulate N iterations (more spans/metrics to look at)",
+    )
+    p_profile.add_argument(
+        "--metrics-out", metavar="FILE", default="",
+        help="also write the metrics registry to FILE "
+        "(.csv for CSV, anything else for JSON)",
+    )
+    p_profile.set_defaults(func=_cmd_profile, obs_managed=True)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="why each operation landed on its processor: pressures, "
+        "runner-ups, tie-breaks, timeouts",
+    )
+    add_paper_target(p_explain)
+    p_explain.add_argument(
+        "--op", default="", metavar="NAME",
+        help="explain one operation instead of the whole schedule",
+    )
+    p_explain.add_argument(
+        "--full", action="store_true",
+        help="include every candidate evaluation and timeout entry",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_lint = sub.add_parser(
         "lint",
@@ -507,7 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(args.verbose, args.quiet)
+    with _obs_session(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

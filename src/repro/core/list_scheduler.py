@@ -25,11 +25,18 @@ replicas and comms are appended).  The skeleton records a
 from __future__ import annotations
 
 import abc
+import logging
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.problem import InfeasibleProblemError, Problem
+from ..obs import (
+    CandidateEvaluation,
+    DecisionLog,
+    DecisionRecord,
+    get_instrumentation,
+)
 from .pressure import PressurePrePass
 from .schedule import (
     CommSlot,
@@ -47,6 +54,8 @@ __all__ = [
     "explore_seeds",
     "best_over_seeds",
 ]
+
+LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -93,6 +102,9 @@ class ScheduleResult:
     schedule: Schedule
     steps: List[StepRecord]
     prepass: PressurePrePass
+    #: Structured decision records (``repro explain``); also reachable
+    #: as ``schedule.decision_log`` for the FT3xx lint pass.
+    decisions: Optional[DecisionLog] = None
 
     @property
     def makespan(self) -> float:
@@ -153,6 +165,18 @@ class ListScheduler(abc.ABC):
         #: Election order of each scheduled operation's processors
         #: (main first); filled in by :meth:`commit`.
         self.placement_order: Dict[str, List[ReplicaPlacement]] = {}
+        #: The active observability sink (metrics + spans); refreshed
+        #: at :meth:`run` so a profiling session started after
+        #: construction is still honoured.
+        self.obs = get_instrumentation()
+        #: Structured decision records, one per heuristic step.
+        self.decisions = DecisionLog(
+            tie_break="name-order" if self.rng is None else "random"
+        )
+        #: All evaluations of the last :meth:`_keep_best` call per op,
+        #: best (lowest pressure) first — the raw material of the
+        #: decision records.
+        self._evaluated: Dict[str, List[PlacementEvaluation]] = {}
 
     # ------------------------------------------------------------------
     # To be provided by concrete heuristics
@@ -185,6 +209,22 @@ class ListScheduler(abc.ABC):
     # ------------------------------------------------------------------
     def run(self) -> ScheduleResult:
         """Execute the heuristic and return the frozen schedule."""
+        self.obs = get_instrumentation()
+        with self.obs.span(
+            "scheduler.run", method=type(self).__name__,
+            operations=len(self.problem.algorithm),
+        ):
+            result = self._run_instrumented()
+        LOGGER.info(
+            "%s scheduled %d operation(s) in %d step(s): makespan %g",
+            type(self).__name__,
+            len(self.problem.algorithm),
+            len(result.steps),
+            result.makespan,
+        )
+        return result
+
+    def _run_instrumented(self) -> ScheduleResult:
         algorithm = self.problem.algorithm
         schedule = Schedule(self.problem, self.semantics)
         scheduled: set = set()
@@ -213,7 +253,8 @@ class ListScheduler(abc.ABC):
             selected = self.rng.choice(tied) if self.rng else tied[0]
 
             # mSn.3 -- commit the operation and its comms.
-            placements, comms = self.commit(selected, kept_per_op[selected])
+            with self.obs.span("scheduler.step", op=selected):
+                placements, comms = self.commit(selected, kept_per_op[selected])
             for placement in placements:
                 schedule.add_replica(placement)
             for slot in comms:
@@ -227,6 +268,15 @@ class ListScheduler(abc.ABC):
                     placements=tuple(placements),
                     comms=tuple(comms),
                 )
+            )
+            self._record_decision(
+                steps[-1], kept_per_op, tied, placements
+            )
+            LOGGER.debug(
+                "step %d: %s -> %s (urgency %g, %d comm slot(s))",
+                len(steps), selected,
+                ",".join(p.processor for p in placements),
+                urgency(selected), len(comms),
             )
 
             # mSn.4 -- update the candidate list.
@@ -244,10 +294,82 @@ class ListScheduler(abc.ABC):
                 f"scheduling stalled; unreachable operations: {missing}"
             )
 
+        self.obs.count("scheduler.steps", len(steps))
         self.finalize(schedule)
+        #: The decision log rides on the schedule so downstream
+        #: consumers (FT301, ``repro explain``) need no side channel.
+        schedule.decision_log = self.decisions
         return ScheduleResult(
-            schedule=schedule.freeze(), steps=steps, prepass=self.prepass
+            schedule=schedule.freeze(),
+            steps=steps,
+            prepass=self.prepass,
+            decisions=self.decisions,
         )
+
+    # ------------------------------------------------------------------
+    # Decision recording (repro.obs)
+    # ------------------------------------------------------------------
+    def _record_decision(
+        self,
+        step: StepRecord,
+        kept_per_op: Dict[str, List[PlacementEvaluation]],
+        tied: List[str],
+        placements: Sequence[ReplicaPlacement],
+    ) -> None:
+        """Append the structured record of one heuristic step."""
+        candidates: Dict[str, Tuple[CandidateEvaluation, ...]] = {}
+        for op, kept in kept_per_op.items():
+            kept_procs = {e.processor for e in kept}
+            candidates[op] = tuple(
+                CandidateEvaluation(
+                    op=e.op,
+                    processor=e.processor,
+                    start=e.start,
+                    end=e.end,
+                    pressure=e.pressure,
+                    kept=e.processor in kept_procs,
+                )
+                for e in self._evaluated[op]
+            )
+        self.decisions.append(
+            DecisionRecord(
+                step=step.index,
+                chosen=step.op,
+                urgency=step.urgency,
+                candidates=candidates,
+                main=placements[0].processor,
+                replicas=tuple(p.processor for p in placements),
+                selection_tied=tuple(tied) if len(tied) > 1 else (),
+                placement_tie_groups=self._boundary_ties(
+                    self._evaluated[step.op]
+                ),
+                tie_break=self.decisions.tie_break,
+            )
+        )
+
+    def _boundary_ties(
+        self, evaluations: Sequence[PlacementEvaluation]
+    ) -> Tuple[Tuple[str, ...], ...]:
+        """Pressure ties straddling the kept/dropped boundary.
+
+        When the ``degree``-th and ``degree+1``-th best pressures tie
+        (within :data:`TIE_EPSILON`), the membership of the kept set
+        itself was decided arbitrarily — the situation FT301 flags.
+        """
+        degree = self.replication_degree
+        if len(evaluations) <= degree:
+            return ()
+        boundary = evaluations[degree - 1].pressure
+        group = tuple(
+            e.processor
+            for e in evaluations
+            if abs(e.pressure - boundary) <= self.TIE_EPSILON
+        )
+        crosses = any(
+            abs(e.pressure - boundary) <= self.TIE_EPSILON
+            for e in evaluations[degree:]
+        )
+        return (group,) if crosses and len(group) > 1 else ()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -262,6 +384,7 @@ class ListScheduler(abc.ABC):
                 f"processor(s); K={self.problem.failures} requires {degree}"
             )
         evaluations = [self.evaluate_placement(op, proc) for proc in capable]
+        self.obs.count("pressure.evals", len(evaluations))
         if self.rng is not None:
             # Random tie-break: placements whose pressures tie (within
             # TIE_EPSILON) are ordered randomly, everything else keeps
@@ -272,6 +395,7 @@ class ListScheduler(abc.ABC):
             evaluations.sort(key=lambda e: (e.pressure, jitter[e.processor]))
         else:
             evaluations.sort(key=lambda e: e.sort_key)
+        self._evaluated[op] = evaluations
         return evaluations[:degree]
 
     def input_sources(self, op: str) -> List[Tuple[Tuple[str, str], str]]:
@@ -340,5 +464,15 @@ def best_over_seeds(
     earliest run (deterministic first), making the result reproducible.
     """
     seeds: List[Optional[int]] = [None] + list(range(attempts))
-    results = explore_seeds(scheduler_class, problem, seeds, estimate_mode)
-    return min(results, key=lambda result: result.makespan)
+    with get_instrumentation().span(
+        "scheduler.best_over_seeds",
+        method=scheduler_class.__name__,
+        attempts=attempts,
+    ):
+        results = explore_seeds(scheduler_class, problem, seeds, estimate_mode)
+    best = min(results, key=lambda result: result.makespan)
+    LOGGER.info(
+        "best_over_seeds(%s): kept makespan %g over %d run(s)",
+        scheduler_class.__name__, best.makespan, len(results),
+    )
+    return best

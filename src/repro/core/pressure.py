@@ -32,14 +32,18 @@ the average finite duration.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
 from ..graphs.algorithm import AlgorithmGraph
 from ..graphs.constraints import ExecutionTable
 from ..graphs.problem import Problem
+from ..obs import get_instrumentation
 
 __all__ = ["PressurePrePass"]
+
+LOGGER = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -77,6 +81,8 @@ class PressurePrePass:
         | ``max``) applied to each operation's finite durations over
         ``processors``.
         """
+        obs = get_instrumentation()
+        obs.count("pressure.prepass.runs")
         procs = list(processors)
         estimate: Dict[str, float] = {
             op: execution.estimate(op, procs, mode)
@@ -99,6 +105,11 @@ class PressurePrePass:
             estimate[op] + tail[op]
             for op in algorithm.operation_names
             if not algorithm.predecessors(op)
+        )
+        obs.gauge("pressure.critical_path", critical_path)
+        LOGGER.debug(
+            "pressure pre-pass (%s): R=%g over %d operation(s)",
+            mode, critical_path, len(estimate),
         )
         return cls(critical_path=critical_path, tail=dict(tail), estimate=dict(estimate))
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..graphs.problem import Problem
+from ..obs import TimeoutNote
 from .list_scheduler import ListScheduler, PlacementEvaluation
 from .schedule import CommSlot, ReplicaPlacement, Schedule, ScheduleSemantics
 from .timeouts import compute_timeout_table
@@ -60,6 +61,10 @@ class Solution1Scheduler(ListScheduler):
         times between o and the main processor of its predecessors"),
         or from a local replica when ``proc`` hosts one.
         """
+        with self.obs.span("pressure.eval", op=op, proc=proc):
+            return self._evaluate_placement(op, proc)
+
+    def _evaluate_placement(self, op: str, proc: str) -> PlacementEvaluation:
         ghost = self.state.clone()
         ready = 0.0
         for dep, pred in self.input_sources(op):
@@ -136,14 +141,29 @@ class Solution1Scheduler(ListScheduler):
     # Post-pass: the static timeout ladders of Figure 12
     # ------------------------------------------------------------------
     def finalize(self, schedule: Schedule) -> None:
-        for entry in compute_timeout_table(
-            self.problem,
-            self.planner,
-            self.placement_order,
-            schedule,
-            drain_margin_frames=self.drain_margin_frames,
-        ):
+        with self.obs.span("timeouts.compute"):
+            entries = compute_timeout_table(
+                self.problem,
+                self.planner,
+                self.placement_order,
+                schedule,
+                drain_margin_frames=self.drain_margin_frames,
+            )
+        for entry in entries:
             schedule.add_timeout(entry)
+            # Mirror the table into the decision log so `repro explain`
+            # can show the watchdog ladder behind each placement.
+            self.decisions.timeouts.append(
+                TimeoutNote(
+                    op=entry.op,
+                    dependency=entry.dependency,
+                    watcher=entry.watcher,
+                    candidate=entry.candidate,
+                    rank=entry.rank,
+                    deadline=entry.deadline,
+                )
+            )
+        self.obs.count("timeouts.entries", len(entries))
 
 
 def schedule_solution1(problem: Problem, estimate_mode: str = "average"):

@@ -47,6 +47,10 @@ class Solution2Scheduler(ListScheduler):
         of the communication times with each replica of the
         predecessor".
         """
+        with self.obs.span("pressure.eval", op=op, proc=proc):
+            return self._evaluate_placement(op, proc)
+
+    def _evaluate_placement(self, op: str, proc: str) -> PlacementEvaluation:
         ghost = self.state.clone()
         ready = 0.0
         for dep, pred in self.input_sources(op):

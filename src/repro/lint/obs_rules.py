@@ -1,0 +1,65 @@
+"""Observability lints (FT3xx): audit a run's decision telemetry.
+
+The FT1xx/FT2xx packs inspect *artifacts* (problem, schedule); this
+pack inspects the *decision log* the instrumented schedulers attach to
+every schedule they produce (``schedule.decision_log``, see
+:mod:`repro.obs.decisions`).  A schedule built by hand — or loaded
+from JSON — carries no log, and every FT3xx rule then passes
+vacuously.
+
+* FT301 flags steps whose outcome hinged on an *arbitrary* pressure
+  tie-break: either several candidate operations tied on urgency, or
+  the kept/dropped processor boundary of the winner tied within the
+  scheduler's epsilon.  The paper resolves such ties randomly
+  (micro-step mSn.2); this implementation resolves them by name order
+  (or by a seeded RNG under ``--best-of``).  Either way the schedule
+  is only *one* member of an equivalence family: a different platform,
+  hash seed, or library version may legitimately pick another member,
+  so byte-identical schedules across environments cannot be assumed —
+  a real risk for certification artifacts and cached baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..core.schedule import Schedule
+from .model import Severity
+from .registry import Scope, rule
+
+__all__ = []  # rules register themselves; nothing to import directly
+
+Finding = Tuple[str, str]
+
+
+@rule(
+    "FT301",
+    "arbitrary-tie-break",
+    Severity.WARNING,
+    Scope.SCHEDULE,
+    "a schedule-pressure tie was broken arbitrarily — the schedule is "
+    "one of several equally-pressured alternatives (nondeterminism "
+    "risk across platforms)",
+)
+def check_arbitrary_tie_breaks(schedule: Schedule) -> Iterator[Finding]:
+    log = getattr(schedule, "decision_log", None)
+    if log is None:
+        return
+    for record in log.records:
+        if len(record.selection_tied) > 1:
+            others = [op for op in record.selection_tied if op != record.chosen]
+            yield (
+                f"step {record.step}: {record.chosen!r} was selected over "
+                f"equally urgent candidate(s) {', '.join(sorted(others))} "
+                f"(urgency {record.urgency:g}) by {record.tie_break} "
+                f"tie-break",
+                record.chosen,
+            )
+        for group in record.placement_tie_groups:
+            yield (
+                f"step {record.step}: the replica set of {record.chosen!r} "
+                f"({', '.join(record.replicas)}) was cut from the tied "
+                f"processor group {{{', '.join(group)}}} by "
+                f"{record.tie_break} tie-break",
+                record.chosen,
+            )

@@ -107,7 +107,7 @@ def rule(
 
 def _ensure_packs_loaded() -> None:
     """Import the shipped rule packs (idempotent)."""
-    from . import problem_rules, schedule_rules  # noqa: F401
+    from . import obs_rules, problem_rules, schedule_rules  # noqa: F401
 
 
 def all_rules() -> List[Rule]:

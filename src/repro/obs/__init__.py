@@ -1,0 +1,63 @@
+"""``repro.obs`` — the observability layer (metrics, traces, decisions).
+
+Three complementary views on a run, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges,
+  histograms (exact quantiles) and perf_counter timers;
+* :mod:`repro.obs.tracing` — nestable spans in a ring buffer,
+  exported as Chrome trace-event JSON (Perfetto / ``chrome://tracing``)
+  and plain summaries;
+* :mod:`repro.obs.decisions` — structured scheduler decision records
+  (candidate pressures, winners, tie-breaks, timeout tables) behind
+  ``repro explain``.
+
+:mod:`repro.obs.runtime` holds the process-wide active
+:class:`Instrumentation`; instrumented code is free when it is
+disabled (the default).  See ``docs/observability.md``.
+"""
+
+from .decisions import (
+    CandidateEvaluation,
+    DecisionLog,
+    DecisionRecord,
+    OperationRationale,
+    TimeoutNote,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    registry,
+    reset_registry,
+)
+from .runtime import (
+    Instrumentation,
+    get_instrumentation,
+    install,
+    instrumented,
+)
+from .tracing import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "CandidateEvaluation",
+    "DecisionLog",
+    "DecisionRecord",
+    "OperationRationale",
+    "TimeoutNote",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "registry",
+    "reset_registry",
+    "Instrumentation",
+    "get_instrumentation",
+    "install",
+    "instrumented",
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+]

@@ -1,0 +1,265 @@
+"""Structured scheduler decision records: why an operation landed where.
+
+The list-scheduling heuristics (paper Figures 11 and 20) take one
+decision per step: evaluate the schedule pressure of every
+⟨operation, processor⟩ pair, select the most urgent candidate, commit
+it on its best processors.  This module is the flight recorder of that
+loop — for each step it keeps the full candidate set with every
+pressure evaluated, the winner, how ties were (or were not) broken,
+and the timeout-table entries derived afterwards — so that
+``repro explain`` can answer "why is ``op3`` on ``P2``?" after the
+fact, and the FT301 lint can flag nondeterminism risks.
+
+The module is deliberately free of imports from the rest of the
+package: :mod:`repro.core` depends on :mod:`repro.obs`, never the
+other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "CandidateEvaluation",
+    "DecisionRecord",
+    "TimeoutNote",
+    "DecisionLog",
+    "OperationRationale",
+]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One evaluated ⟨operation, processor⟩ pair at one step."""
+
+    op: str
+    processor: str
+    start: float
+    end: float
+    pressure: float
+    kept: bool  #: inside the K+1 placements kept for this operation
+
+    def __str__(self) -> str:
+        marker = "*" if self.kept else " "
+        return (
+            f"{marker} {self.op}@{self.processor}: sigma={self.pressure:g} "
+            f"[{self.start:g}, {self.end:g}]"
+        )
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Everything the heuristic looked at during one step.
+
+    Attributes
+    ----------
+    step:
+        1-based step index (matches ``StepRecord.index``).
+    chosen:
+        The operation scheduled at this step.
+    urgency:
+        The chosen operation's urgency (max pressure over its kept
+        placements, micro-step mSn.2).
+    candidates:
+        Every candidate operation of this step mapped to *all* its
+        evaluations, best (lowest pressure) first — not only the kept
+        ones, so runner-up placements are reconstructable.
+    main:
+        The processor elected main for ``chosen`` (earliest completion
+        among the committed replicas).
+    replicas:
+        Every processor that received a replica, main first.
+    selection_tied:
+        Operations whose urgency tied with the winner's (within the
+        scheduler's epsilon) — length > 1 means the op choice was
+        arbitrary.
+    placement_tie_groups:
+        Groups of processors whose pressures for ``chosen`` tied
+        *across the kept/dropped boundary*: the kept set would change
+        under a different tie-break order.
+    tie_break:
+        How ties were resolved: ``"name-order"`` (deterministic) or
+        ``"random"`` (a seeded RNG drew the winner).
+    """
+
+    step: int
+    chosen: str
+    urgency: float
+    candidates: Mapping[str, Tuple[CandidateEvaluation, ...]]
+    main: str
+    replicas: Tuple[str, ...]
+    selection_tied: Tuple[str, ...] = ()
+    placement_tie_groups: Tuple[Tuple[str, ...], ...] = ()
+    tie_break: str = "name-order"
+
+    @property
+    def evaluations(self) -> Tuple[CandidateEvaluation, ...]:
+        """All evaluations of the chosen operation, best first."""
+        return self.candidates[self.chosen]
+
+    @property
+    def had_arbitrary_tie(self) -> bool:
+        return len(self.selection_tied) > 1 or bool(self.placement_tie_groups)
+
+
+@dataclass(frozen=True)
+class TimeoutNote:
+    """One timeout-table line attached to the decision log.
+
+    Mirrors :class:`repro.core.schedule.TimeoutEntry` field-for-field
+    without importing it (obs stays a leaf module).
+    """
+
+    op: str
+    dependency: Tuple[str, str]
+    watcher: str
+    candidate: str
+    rank: int
+    deadline: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.watcher} waits for {self.candidate} "
+            f"(rank {self.rank}) on {self.dependency[0]}->"
+            f"{self.dependency[1]} until t={self.deadline:g}"
+        )
+
+
+@dataclass(frozen=True)
+class OperationRationale:
+    """The per-operation answer ``repro explain`` renders."""
+
+    op: str
+    step: int
+    urgency: float
+    winner: str
+    winner_pressure: float
+    runner_up: Optional[str]
+    runner_up_pressure: Optional[float]
+    replicas: Tuple[str, ...]
+    evaluations: Tuple[CandidateEvaluation, ...]
+    selection_tied: Tuple[str, ...]
+    placement_tie_groups: Tuple[Tuple[str, ...], ...]
+    tie_break: str
+    timeouts: Tuple[TimeoutNote, ...]
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [
+            f"{self.op}  (step {self.step}, urgency {self.urgency:g})"
+        ]
+        lines.append(
+            f"  winner    : {self.winner}  (pressure {self.winner_pressure:g})"
+        )
+        if self.runner_up is not None:
+            lines.append(
+                f"  runner-up : {self.runner_up}  "
+                f"(pressure {self.runner_up_pressure:g})"
+            )
+        else:
+            lines.append("  runner-up : none (single capable processor)")
+        if len(self.replicas) > 1:
+            lines.append("  replicas  : " + ", ".join(self.replicas))
+        if len(self.selection_tied) > 1:
+            lines.append(
+                "  tie       : urgency tied with "
+                + ", ".join(o for o in self.selection_tied if o != self.op)
+                + f" — broken by {self.tie_break}"
+            )
+        for group in self.placement_tie_groups:
+            lines.append(
+                "  tie       : pressure tied across the kept boundary for "
+                + ", ".join(group)
+                + f" — broken by {self.tie_break}"
+            )
+        if verbose:
+            for evaluation in self.evaluations:
+                lines.append(f"    {evaluation}")
+            for note in self.timeouts:
+                lines.append(f"    timeout: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DecisionLog:
+    """The per-run collection of decision records and timeout notes."""
+
+    tie_break: str = "name-order"
+    records: List[DecisionRecord] = field(default_factory=list)
+    timeouts: List[TimeoutNote] = field(default_factory=list)
+
+    def append(self, record: DecisionRecord) -> None:
+        self.records.append(record)
+
+    def record_for(self, op: str) -> Optional[DecisionRecord]:
+        """The step that scheduled ``op`` (None if never scheduled)."""
+        for record in self.records:
+            if record.chosen == op:
+                return record
+        return None
+
+    def timeouts_for(self, op: str) -> Tuple[TimeoutNote, ...]:
+        return tuple(note for note in self.timeouts if note.op == op)
+
+    @property
+    def operations(self) -> List[str]:
+        """Scheduled operations, in scheduling order."""
+        return [record.chosen for record in self.records]
+
+    @property
+    def arbitrary_ties(self) -> List[DecisionRecord]:
+        """Steps whose outcome depended on an arbitrary tie-break."""
+        return [r for r in self.records if r.had_arbitrary_tie]
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def rationale(self, op: str) -> OperationRationale:
+        """Why ``op`` landed where it did, as a structured answer.
+
+        The *winner* is the elected main replica; the *runner-up* is
+        the best-pressure placement on any other processor (a backup
+        replica or a rejected candidate).
+        """
+        record = self.record_for(op)
+        if record is None:
+            raise KeyError(f"operation {op!r} is not in the decision log")
+        evaluations = record.evaluations
+        by_proc = {e.processor: e for e in evaluations}
+        winner = record.main
+        winner_eval = by_proc.get(winner)
+        runner_up: Optional[CandidateEvaluation] = None
+        for evaluation in evaluations:
+            if evaluation.processor != winner:
+                runner_up = evaluation
+                break
+        return OperationRationale(
+            op=op,
+            step=record.step,
+            urgency=record.urgency,
+            winner=winner,
+            winner_pressure=winner_eval.pressure if winner_eval else 0.0,
+            runner_up=runner_up.processor if runner_up else None,
+            runner_up_pressure=runner_up.pressure if runner_up else None,
+            replicas=record.replicas,
+            evaluations=evaluations,
+            selection_tied=record.selection_tied,
+            placement_tie_groups=record.placement_tie_groups,
+            tie_break=record.tie_break,
+            timeouts=self.timeouts_for(op),
+        )
+
+    def render(self, verbose: bool = False) -> str:
+        """The full ``repro explain`` report, in scheduling order."""
+        if not self.records:
+            return "(empty decision log)"
+        blocks = [
+            self.rationale(op).render(verbose=verbose)
+            for op in self.operations
+        ]
+        ties = len(self.arbitrary_ties)
+        footer = (
+            f"{len(self.records)} decision(s), {ties} with arbitrary "
+            f"tie-break(s); tie-break policy: {self.tie_break}"
+        )
+        return "\n".join(blocks + [footer])

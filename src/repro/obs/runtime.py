@@ -1,0 +1,116 @@
+"""The active instrumentation context: how code under test finds obs.
+
+Instrumented code (schedulers, the simulation executive) never takes a
+registry or tracer parameter — it asks :func:`get_instrumentation` for
+the *active* :class:`Instrumentation` and emits through it.  By
+default that is a disabled singleton whose every operation returns
+immediately (one boolean check; the tracer hands out a shared no-op
+span), so the instrumentation points cost nothing measurable when
+nobody is profiling — the property ``benchmarks/bench_obs_overhead.py``
+enforces.
+
+A profiling session installs a live instance::
+
+    from repro.obs import instrumented
+
+    with instrumented() as obs:
+        schedule_solution1(problem)
+        print(obs.registry.render_table())
+        obs.tracer.write_chrome_trace("out.trace.json")
+
+Installation is process-global (the CLI is single-session); nesting is
+allowed and restores the previous instance on exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .metrics import MetricsRegistry, Timer
+from .tracing import NULL_SPAN, Tracer
+
+__all__ = [
+    "Instrumentation",
+    "get_instrumentation",
+    "install",
+    "instrumented",
+]
+
+
+class Instrumentation:
+    """A registry + tracer pair behind one enabled/disabled switch."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+
+    # ------------------------------------------------------------------
+    # Emission shorthands (each a no-op when disabled)
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.registry.inc(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.registry.observe(name, value)
+
+    def span(self, name: str, **args: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **args)
+
+    def timer(self, name: str):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.registry.timer(name)
+
+
+#: The default: everything off, every emission an immediate return.
+_DISABLED = Instrumentation(enabled=False)
+_ACTIVE = _DISABLED
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The instrumentation instance active right now."""
+    return _ACTIVE
+
+
+def install(instrumentation: Optional[Instrumentation]) -> Instrumentation:
+    """Make ``instrumentation`` the active instance (None = disable).
+
+    Returns the previously active instance so callers can restore it;
+    prefer the :func:`instrumented` context manager.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = instrumentation if instrumentation is not None else _DISABLED
+        return previous
+
+
+@contextmanager
+def instrumented(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Iterator[Instrumentation]:
+    """Activate a fresh (or given) instrumentation for a ``with`` block."""
+    instrumentation = Instrumentation(registry=registry, tracer=tracer)
+    previous = install(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        install(previous)

@@ -15,16 +15,38 @@ the outage windows.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..core.schedule import Schedule, ScheduleSemantics
+from ..obs import Instrumentation, get_instrumentation
 from .executive import ExecutiveRuntime
 from .faults import FailureScenario
 from .trace import IterationTrace
 
 __all__ = ["SimulationRun", "simulate", "simulate_sequence", "transient_then_steady"]
+
+LOGGER = logging.getLogger(__name__)
+
+
+def _record_trace_metrics(obs: Instrumentation, trace: IterationTrace) -> None:
+    """Fold one iteration's event counts into the metrics registry."""
+    if not obs.enabled:
+        return
+    obs.count("sim.iterations")
+    obs.count("sim.frames_sent", len(trace.frames))
+    obs.count("sim.frames_delivered", trace.delivered_frame_count)
+    obs.count("sim.detections", len(trace.detections))
+    obs.count("sim.takeovers", len(trace.takeover_frames()))
+    obs.count("sim.executions", len(trace.executions))
+    obs.count(
+        "sim.aborted_executions",
+        sum(1 for record in trace.executions if not record.completed),
+    )
+    if trace.completed:
+        obs.observe("sim.response_time", trace.response_time)
 
 
 @dataclass
@@ -64,6 +86,7 @@ def simulate(
     never produced, which is the expected outcome of crashing a
     baseline schedule).
     """
+    obs = get_instrumentation()
     runtime = ExecutiveRuntime(
         schedule,
         scenario,
@@ -72,7 +95,19 @@ def simulate(
         snoop_recovery=snoop_recovery,
         iteration=iteration,
     )
-    return runtime.run()
+    with obs.span(
+        "sim.iteration",
+        scenario=str(runtime.scenario),
+        semantics=schedule.semantics.value,
+    ):
+        trace = runtime.run()
+    _record_trace_metrics(obs, trace)
+    LOGGER.debug(
+        "simulated %s under %s: response %g, %d frame(s), %d detection(s)",
+        schedule.semantics.value, runtime.scenario,
+        trace.response_time, len(trace.frames), len(trace.detections),
+    )
+    return trace
 
 
 def simulate_sequence(
@@ -95,6 +130,7 @@ def simulate_sequence(
     iteration are flagged by everyone at its end (their missing frames
     are the detection — Section 7.4).
     """
+    obs = get_instrumentation()
     run = SimulationRun()
     flags: Dict[str, Set[str]] = {}
     for index, scenario in enumerate(scenarios):
@@ -106,7 +142,12 @@ def simulate_sequence(
             snoop_recovery=snoop_recovery,
             iteration=index,
         )
-        trace = runtime.run()
+        with obs.span(
+            "sim.iteration", scenario=str(runtime.scenario), index=index,
+            semantics=schedule.semantics.value,
+        ):
+            trace = runtime.run()
+        _record_trace_metrics(obs, trace)
         run.iterations.append(trace)
         flags = runtime.flags
         if carry_flags:

@@ -1,0 +1,320 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DecisionLog,
+    Instrumentation,
+    MetricsRegistry,
+    NULL_SPAN,
+    Tracer,
+    get_instrumentation,
+    install,
+    instrumented,
+    registry,
+    reset_registry,
+)
+from repro.sim import FailureScenario, simulate
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("calls")
+        reg.inc("calls", 4)
+        assert reg.counter_value("calls") == 5
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("calls").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3.0)
+        reg.gauge("depth").add(-1.0)
+        assert reg.gauge("depth").value == 2.0
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("never") == 0.0
+
+
+class TestHistogram:
+    def test_quantiles_interpolate(self):
+        reg = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("x", value)
+        hist = reg.histogram("x")
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(0.5) == 2.5
+        assert hist.quantile(1.0) == 4.0
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = MetricsRegistry().histogram("x").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("x").quantile(1.5)
+
+    def test_timer_observes_elapsed(self):
+        reg = MetricsRegistry()
+        ticks = iter([10.0, 10.25])
+        timer = reg.timer("t")
+        timer._clock = lambda: next(ticks)
+        with timer:
+            pass
+        assert reg.histogram("t").max == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_name_collision_across_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError):
+            reg.observe("x", 1.0)
+
+    def test_to_dict_and_csv(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2)
+        reg.set_gauge("b", 1.5)
+        reg.observe("c", 3.0)
+        data = reg.to_dict()
+        assert data["counters"] == {"a": 2}
+        assert data["gauges"] == {"b": 1.5}
+        assert data["histograms"]["c"]["count"] == 1
+        csv = reg.to_csv()
+        assert "counter,a,value,2" in csv
+        assert "histogram,c,count,1" in csv
+
+    def test_render_table_mentions_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("calls")
+        reg.observe("lat", 0.5)
+        table = reg.render_table(title="T")
+        assert "calls" in table and "(counter)" in table
+        assert "lat" in table and "histogram" in table
+
+    def test_render_empty_table(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render_table()
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert reg.counter_value("a") == 0.0
+
+    def test_process_singleton(self):
+        assert registry() is registry()
+        registry().inc("test.singleton")
+        reset_registry()
+        assert registry().counter_value("test.singleton") == 0.0
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == []
+
+    def test_records_nested_spans_with_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+        assert outer.args == (("kind", "test"),)
+        assert outer.duration >= inner.duration
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=2)
+        for index in range(3):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.spans] == ["s1", "s2"]
+        assert tracer.dropped == 1
+        assert tracer.started == 3
+
+    def test_chrome_trace_event_schema(self):
+        tracer = Tracer()
+        with tracer.span("work", op="A"):
+            pass
+        (event,) = tracer.to_chrome_trace()
+        assert event["ph"] == "X"
+        assert set(event) == {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert event["name"] == "work"
+        assert event["args"] == {"op": "A"}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "out.trace.json"
+        assert tracer.write_chrome_trace(str(path)) == 1
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events[0]["name"] == "work"
+
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        summary = tracer.summary()
+        assert summary["step"]["count"] == 3
+        assert summary["step"]["total"] >= summary["step"]["max"]
+        assert "step" in tracer.render_summary()
+
+    def test_csv_export(self):
+        tracer = Tracer()
+        with tracer.span("step", op="B"):
+            pass
+        csv = tracer.to_csv()
+        assert csv.startswith("name,start_s,duration_s,depth,args")
+        assert "step" in csv and "op=B" in csv
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("step"):
+            pass
+        tracer.clear()
+        assert tracer.spans == [] and tracer.started == 0
+
+
+class TestRuntime:
+    def test_default_is_disabled(self):
+        obs = get_instrumentation()
+        assert not obs.enabled
+        assert obs.span("x") is NULL_SPAN
+        obs.count("x")  # must not record anywhere observable
+        assert obs.registry.counter_value("x") == 0.0
+
+    def test_instrumented_installs_and_restores(self):
+        before = get_instrumentation()
+        with instrumented() as obs:
+            assert get_instrumentation() is obs
+            assert obs.enabled
+            obs.count("hits")
+            with obs.span("work"):
+                pass
+        assert get_instrumentation() is before
+        assert obs.registry.counter_value("hits") == 1.0
+        assert [s.name for s in obs.tracer.spans] == ["work"]
+
+    def test_nesting_restores_previous(self):
+        with instrumented() as outer:
+            with instrumented() as inner:
+                assert get_instrumentation() is inner
+            assert get_instrumentation() is outer
+
+    def test_install_none_disables(self):
+        previous = install(None)
+        try:
+            assert not get_instrumentation().enabled
+        finally:
+            install(previous)
+
+    def test_disabled_instance_shorthands_are_noops(self):
+        obs = Instrumentation(enabled=False)
+        obs.count("a")
+        obs.gauge("b", 1.0)
+        obs.observe("c", 1.0)
+        with obs.timer("d"):
+            pass
+        assert obs.registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestSchedulerDecisions:
+    def test_every_operation_has_a_record(self, bus_solution1):
+        log = bus_solution1.decisions
+        assert isinstance(log, DecisionLog)
+        assert sorted(log.operations) == ["A", "B", "C", "D", "E", "I", "O"]
+        assert len(log.records) == 7
+
+    def test_log_rides_on_the_schedule(self, bus_solution1):
+        assert bus_solution1.schedule.decision_log is bus_solution1.decisions
+
+    def test_rationale_names_winner_and_runner_up(self, bus_solution1):
+        log = bus_solution1.decisions
+        for op in log.operations:
+            rationale = log.rationale(op)
+            assert rationale.winner
+            assert rationale.runner_up is not None
+            assert rationale.runner_up != rationale.winner
+            assert rationale.runner_up_pressure >= rationale.winner_pressure
+            text = rationale.render(verbose=True)
+            assert rationale.winner in text and rationale.runner_up in text
+
+    def test_replicas_match_the_schedule(self, bus_solution1):
+        log = bus_solution1.decisions
+        for record in log.records:
+            assert record.main == record.replicas[0]
+            placements = bus_solution1.schedule.replicas(record.chosen)
+            assert {p.processor for p in placements} == set(record.replicas)
+
+    def test_solution1_records_timeout_notes(self, bus_solution1):
+        notes = bus_solution1.decisions.timeouts
+        assert notes
+        table = bus_solution1.schedule.timeouts
+        assert len(notes) == len(table)
+        for note, entry in zip(notes, table):
+            assert (note.watcher, note.candidate, note.deadline) == (
+                entry.watcher, entry.candidate, entry.deadline
+            )
+
+    def test_unknown_operation_raises(self, bus_solution1):
+        with pytest.raises(KeyError):
+            bus_solution1.decisions.rationale("NOPE")
+
+    def test_render_covers_all_operations(self, bus_solution1):
+        text = bus_solution1.decisions.render()
+        for op in "IABCDEO":
+            assert f"{op}  (step" in text
+        assert "tie-break policy" in text
+
+    def test_empty_log_renders(self):
+        assert "empty" in DecisionLog().render()
+
+    def test_arbitrary_ties_flagged_on_paper_example(self, bus_solution1):
+        # Steps 3 (B over C, D) and 4 (C over D) tie on urgency in the
+        # paper's first example; name-order resolves them.
+        tied = bus_solution1.decisions.arbitrary_ties
+        assert len(tied) >= 2
+        assert all(record.had_arbitrary_tie for record in tied)
+
+
+class TestInstrumentedRuns:
+    def test_scheduler_and_simulator_emit_metrics(self, bus_problem):
+        from repro.core import schedule_solution1
+
+        with instrumented() as obs:
+            result = schedule_solution1(bus_problem)
+            simulate(result.schedule, FailureScenario.crash("P2", 3.0))
+        reg = obs.registry
+        assert reg.counter_value("pressure.evals") > 0
+        assert reg.counter_value("scheduler.steps") == 7
+        assert reg.counter_value("sim.frames_sent") > 0
+        assert reg.counter_value("sim.detections") > 0
+        assert reg.counter_value("timeouts.entries") > 0
+        names = {span.name for span in obs.tracer.spans}
+        assert {"scheduler.run", "pressure.eval", "sim.iteration"} <= names
+
+    def test_disabled_run_records_nothing(self, bus_problem):
+        from repro.core import schedule_solution1
+
+        result = schedule_solution1(bus_problem)
+        assert result.decisions is not None  # decisions are always kept
+        obs = get_instrumentation()
+        assert obs.registry.to_dict()["counters"] == {}

@@ -1,0 +1,172 @@
+"""End-to-end tests of the observability CLI surface and FT301.
+
+Covers the ``profile`` and ``explain`` subcommands, the ``--obs-out``
+/ ``--obs-off`` flags on the pre-existing commands, the global
+``-v``/``--quiet`` logging switches, and the FT3xx lint pack that
+reads the decision log off a schedule.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import save_problem
+from repro.lint import lint_schedule
+from repro.paper.examples import first_example_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    save_problem(first_example_problem(failures=1), path)
+    return str(path)
+
+
+class TestProfileCommand:
+    def test_paper_alias_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "out.trace.json"
+        code = main(
+            [
+                "profile", "--paper", "fig17", "--method", "solution1",
+                "--obs-out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        # The metrics table names the headline counters.
+        for metric in ("pressure.evals", "sim.frames_sent", "sim.detections"):
+            assert metric in text
+        assert "makespan: 9.4" in text
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        names = {event["name"] for event in events}
+        assert {"scheduler.run", "pressure.eval", "sim.iteration"} <= names
+
+    def test_problem_file_and_crash_scenario(self, problem_file, capsys):
+        assert main(["profile", problem_file, "--crash", "P2@3.0"]) == 0
+        text = capsys.readouterr().out
+        assert "completed: True" in text
+        assert "sim.detections" in text
+
+    def test_metrics_out_json_and_csv(self, tmp_path, capsys):
+        as_json = tmp_path / "metrics.json"
+        as_csv = tmp_path / "metrics.csv"
+        main(["profile", "--paper", "fig17", "--metrics-out", str(as_json)])
+        main(["profile", "--paper", "fig17", "--metrics-out", str(as_csv)])
+        payload = json.loads(as_json.read_text())
+        assert payload["counters"]["scheduler.steps"] == 7
+        assert as_csv.read_text().startswith("kind,name,field,value")
+
+    def test_obs_off_disables_collection(self, capsys):
+        assert main(["profile", "--paper", "fig17", "--obs-off"]) == 0
+        text = capsys.readouterr().out
+        assert "instrumentation disabled" in text
+        assert "pressure.evals" not in text
+
+    def test_auto_method_follows_architecture(self, capsys):
+        main(["profile", "--paper", "fig22", "--obs-off"])
+        assert "method: solution2" in capsys.readouterr().out
+
+    def test_requires_a_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+
+class TestExplainCommand:
+    def test_explains_all_seven_operations(self, capsys):
+        assert main(["explain", "--paper", "fig17"]) == 0
+        text = capsys.readouterr().out
+        for op in "IABCDEO":
+            assert f"{op}  (step" in text
+        assert "winner" in text and "runner-up" in text
+        assert "tie-break policy" in text
+
+    def test_single_operation_with_evaluations(self, capsys):
+        assert main(["explain", "--paper", "fig17", "--op", "E", "--full"]) == 0
+        text = capsys.readouterr().out
+        assert text.startswith("E  (step")
+        assert "sigma=" in text
+
+    def test_unknown_operation_fails(self, capsys):
+        assert main(["explain", "--paper", "fig17", "--op", "NOPE"]) == 2
+        assert "not in the decision log" in capsys.readouterr().err
+
+    def test_problem_file_target(self, problem_file, capsys):
+        assert main(["explain", problem_file, "--method", "solution1"]) == 0
+        assert "winner" in capsys.readouterr().out
+
+
+class TestObsFlagsOnExistingCommands:
+    @pytest.mark.parametrize("command", ["schedule", "simulate", "certify"])
+    def test_obs_out_writes_a_trace(self, command, problem_file, tmp_path, capsys):
+        out = tmp_path / f"{command}.trace.json"
+        code = main([command, problem_file, "--obs-out", str(out)])
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        assert json.loads(out.read_text())
+
+    def test_compare_obs_out(self, problem_file, tmp_path):
+        out = tmp_path / "cmp.trace.json"
+        assert main(["compare", problem_file, "--obs-out", str(out)]) == 0
+        events = json.loads(out.read_text())
+        # Three scheduler runs: baseline, solution1, solution2.
+        runs = [e for e in events if e["name"] == "scheduler.run"]
+        assert len(runs) == 3
+
+    def test_obs_off_wins_over_obs_out(self, problem_file, tmp_path):
+        out = tmp_path / "off.trace.json"
+        main(["schedule", problem_file, "--obs-out", str(out), "--obs-off"])
+        assert not out.exists()
+
+
+class TestLoggingFlags:
+    def test_verbose_emits_info_logs(self, problem_file, capsys):
+        main(["-v", "schedule", problem_file])
+        assert "INFO repro." in capsys.readouterr().err
+        logging.getLogger("repro").setLevel(logging.WARNING)
+
+    def test_default_is_quiet_on_stderr(self, problem_file, capsys):
+        main(["schedule", problem_file])
+        assert "INFO" not in capsys.readouterr().err
+
+    def test_quiet_flag_accepted(self, problem_file):
+        assert main(["--quiet", "schedule", problem_file]) == 0
+        assert logging.getLogger("repro").level == logging.ERROR
+        logging.getLogger("repro").setLevel(logging.WARNING)
+
+    def test_no_duplicate_handlers_across_runs(self, problem_file):
+        main(["schedule", problem_file])
+        main(["schedule", problem_file])
+        assert len(logging.getLogger("repro").handlers) == 1
+
+
+class TestFT301Lint:
+    def test_fires_on_the_paper_schedule(self):
+        from repro import schedule_solution1
+
+        result = schedule_solution1(first_example_problem(failures=1))
+        report = lint_schedule(result.schedule)
+        findings = [d for d in report.findings if d.rule == "FT301"]
+        # Steps 3 and 4 tie on urgency in the paper's first example.
+        assert len(findings) >= 2
+        assert all(d.severity.value == "warning" for d in findings)
+        assert any("equally urgent" in d.message for d in findings)
+
+    def test_passes_vacuously_without_a_decision_log(self):
+        from repro import schedule_solution1
+
+        result = schedule_solution1(first_example_problem(failures=1))
+        schedule = result.schedule
+        del schedule.decision_log
+        report = lint_schedule(schedule)
+        assert not [d for d in report.findings if d.rule == "FT301"]
+
+    def test_cli_lint_reports_ft301_as_warning(self, capsys):
+        code = main(["lint", "--paper", "first", "--method", "solution1"])
+        assert code == 0  # warnings do not gate by default
+        assert "FT301" in capsys.readouterr().out

@@ -39,12 +39,18 @@ MODULES = [
     "repro.core.degrade",
     "repro.core.exhaustive",
     "repro.tolerance",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.decisions",
+    "repro.obs.runtime",
     "repro.lint",
     "repro.lint.model",
     "repro.lint.registry",
     "repro.lint.engine",
     "repro.lint.problem_rules",
     "repro.lint.schedule_rules",
+    "repro.lint.obs_rules",
     "repro.lint.emitters",
     "repro.sim",
     "repro.sim.engine",

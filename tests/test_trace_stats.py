@@ -11,6 +11,7 @@ from repro.analysis.trace_stats import (
     utilization,
 )
 from repro.sim import FailureScenario, simulate
+from repro.sim.trace import ExecutionRecord, FrameRecord, IterationTrace
 
 
 class TestDetectionStats:
@@ -72,6 +73,124 @@ class TestUtilization:
             simulate(bus_solution1.schedule, FailureScenario.dead_from_start("P3"))
         )
         assert crashed.get("P3", 0.0) <= healthy["P3"] + 1e-9
+
+
+class TestEmptyTrace:
+    """Every statistic must be total on a trace with no activity."""
+
+    def test_utilization_is_empty(self):
+        assert utilization(IterationTrace()) == {}
+
+    def test_takeover_lag_is_infinite(self):
+        assert math.isinf(takeover_lag(IterationTrace(), 0.0))
+
+    def test_detection_stats_without_crashes(self):
+        assert detection_stats(IterationTrace(), FailureScenario.none()) == []
+
+    def test_detection_stats_with_crash_but_no_detections(self):
+        scenario = FailureScenario.crash("P1", at=1.0)
+        (stats,) = detection_stats(IterationTrace(), scenario)
+        assert stats.detection_count == 0
+        assert math.isinf(stats.first_latency)
+        assert math.isinf(stats.last_latency)
+
+
+class TestAllAbortedExecutions:
+    """A crash at t=0 can abort everything; statistics must not blow up."""
+
+    @pytest.fixture()
+    def aborted_trace(self):
+        return IterationTrace(
+            scenario_name="all-aborted",
+            executions=[
+                ExecutionRecord("A", "P1", 0.0, 0.5, completed=False),
+                ExecutionRecord("B", "P1", 0.5, 0.8, completed=False),
+            ],
+            frames=[
+                FrameRecord(
+                    ("A", "B"), "P1", ("P2",), "bus", 0.2, 0.4,
+                    delivered=False,
+                )
+            ],
+            expected_outputs=("B",),
+        )
+
+    def test_never_completes(self, aborted_trace):
+        assert not aborted_trace.completed
+        assert math.isinf(aborted_trace.response_time)
+
+    def test_makespan_ignores_aborted_work(self, aborted_trace):
+        assert aborted_trace.makespan == 0.0
+
+    def test_redundancy_without_deliveries(self, aborted_trace):
+        assert redundant_delivery_ratio(aborted_trace) == 0.0
+
+    def test_takeover_lag_without_deliveries(self, aborted_trace):
+        assert math.isinf(takeover_lag(aborted_trace, 0.0))
+
+    def test_utilization_counts_interrupted_busy_time(self, aborted_trace):
+        # Aborted work still occupied the resources, so the fractions
+        # are positive and finite even though nothing completed.
+        fractions = utilization(aborted_trace)
+        assert set(fractions) == {"P1", "bus"}
+        for value in fractions.values():
+            assert value > 0.0
+            assert math.isfinite(value)
+
+
+class TestSingleProcessorSchedule:
+    """One processor, no links: a trace with executions but no frames."""
+
+    @pytest.fixture(scope="class")
+    def solo_trace(self):
+        from repro.core import schedule_baseline
+        from repro.graphs.algorithm import AlgorithmGraph
+        from repro.graphs.architecture import Architecture
+        from repro.graphs.constraints import (
+            CommunicationTable,
+            ExecutionTable,
+        )
+        from repro.graphs.problem import Problem
+
+        algorithm = AlgorithmGraph("solo-chain")
+        algorithm.add_input("in")
+        algorithm.add_comp("work")
+        algorithm.add_output("out")
+        algorithm.add_dependency("in", "work")
+        algorithm.add_dependency("work", "out")
+        architecture = Architecture("solo")
+        architecture.add_processor("P1")
+        problem = Problem(
+            algorithm=algorithm,
+            architecture=architecture,
+            execution=ExecutionTable.from_rows(
+                {
+                    "in": {"P1": 1.0},
+                    "work": {"P1": 2.0},
+                    "out": {"P1": 0.5},
+                }
+            ),
+            communication=CommunicationTable(),
+            failures=0,
+            name="solo",
+        )
+        return simulate(schedule_baseline(problem).schedule)
+
+    def test_runs_to_completion(self, solo_trace):
+        assert solo_trace.completed
+        assert solo_trace.response_time == pytest.approx(3.5)
+
+    def test_no_frames_means_no_redundancy(self, solo_trace):
+        assert solo_trace.frames == []
+        assert redundant_delivery_ratio(solo_trace) == 0.0
+
+    def test_utilization_covers_only_the_processor(self, solo_trace):
+        fractions = utilization(solo_trace)
+        assert set(fractions) == {"P1"}
+        assert fractions["P1"] == pytest.approx(1.0)
+
+    def test_takeover_lag_is_infinite(self, solo_trace):
+        assert math.isinf(takeover_lag(solo_trace, 0.0))
 
 
 class TestRedundancy:
