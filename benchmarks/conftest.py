@@ -15,6 +15,7 @@ import functools
 import pytest
 
 from repro import paper
+from repro.analysis.report import render_block
 from repro.core import (
     schedule_baseline,
     schedule_solution1,
@@ -25,9 +26,15 @@ from repro.paper import expected
 
 
 def emit(block: object) -> None:
-    """Print a report block (visible with ``pytest -s``)."""
+    """Print a report block (visible with ``pytest -s``).
+
+    Rendering goes through :func:`repro.analysis.report.render_block`,
+    the same formatter the analysis reports and the bench dashboard
+    use — Tables, ComparisonRow lists and plain strings all come out
+    in the one house style.
+    """
     print()
-    print(block)
+    print(render_block(block))
 
 
 @pytest.fixture(scope="session")

@@ -31,8 +31,15 @@ from .periodic import (
     unit_busy_times,
     worst_degraded_min_period,
 )
-from .report import ComparisonRow, Table, comparison_table, format_value
-from .svg import schedule_to_svg, trace_to_svg
+from .report import (
+    ComparisonRow,
+    HtmlCell,
+    Table,
+    comparison_table,
+    format_value,
+    render_block,
+)
+from .svg import schedule_to_svg, sparkline, trace_to_svg
 from .trace_stats import (
     DetectionStats,
     detection_stats,
@@ -69,10 +76,13 @@ __all__ = [
     "unit_busy_times",
     "worst_degraded_min_period",
     "ComparisonRow",
+    "HtmlCell",
     "Table",
     "comparison_table",
     "format_value",
+    "render_block",
     "schedule_to_svg",
+    "sparkline",
     "trace_to_svg",
     "DetectionStats",
     "detection_stats",

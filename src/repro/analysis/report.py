@@ -8,11 +8,19 @@ columns, no external dependency).
 
 from __future__ import annotations
 
+import html as _html
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Union
 
-__all__ = ["Table", "ComparisonRow", "comparison_table", "format_value"]
+__all__ = [
+    "Table",
+    "ComparisonRow",
+    "HtmlCell",
+    "comparison_table",
+    "format_value",
+    "render_block",
+]
 
 Cell = Union[str, float, int, None]
 
@@ -66,8 +74,55 @@ class Table:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def render_html(self, classes: str = "report") -> str:
+        """The same table as an HTML fragment (benchmark dashboard).
+
+        Cell text goes through :func:`format_value` exactly as in
+        :meth:`render`, so the terminal and the dashboard can never
+        disagree on a number.  Raw HTML is allowed per cell only via
+        :class:`HtmlCell` (used for embedded SVG sparklines and
+        badges); everything else is escaped.
+        """
+        lines = [f'<table class="{_html.escape(classes)}">']
+        if self.title:
+            lines.append(f"  <caption>{_html.escape(self.title)}</caption>")
+        lines.append("  <thead><tr>")
+        for header in self.headers:
+            lines.append(f"    <th>{_html.escape(str(header))}</th>")
+        lines.append("  </tr></thead>")
+        lines.append("  <tbody>")
+        for row in self.rows:
+            lines.append("  <tr>")
+            for cell in row:
+                if isinstance(cell, HtmlCell):
+                    lines.append(f"    <td>{cell.markup}</td>")
+                else:
+                    lines.append(
+                        f"    <td>{_html.escape(format_value(cell))}</td>"
+                    )
+            lines.append("  </tr>")
+        lines.append("  </tbody>")
+        lines.append("</table>")
+        return "\n".join(lines)
+
     def __str__(self) -> str:
         return self.render()
+
+
+@dataclass(frozen=True)
+class HtmlCell:
+    """A table cell carrying pre-built markup (SVG, badges).
+
+    In text rendering it falls back to :attr:`text`; in HTML rendering
+    :attr:`markup` is inserted verbatim — the only unescaped path into
+    :meth:`Table.render_html`.
+    """
+
+    markup: str
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text
 
 
 @dataclass(frozen=True)
@@ -106,3 +161,24 @@ def comparison_table(
             row.note,
         )
     return table
+
+
+def render_block(block: object) -> str:
+    """Render any report block through the shared formatters.
+
+    The single entry point the benchmark harness prints through
+    (``benchmarks/conftest.py::emit``): :class:`Table` renders via its
+    own formatter, an iterable of :class:`ComparisonRow` becomes the
+    standard paper-vs-measured table, and anything else falls back to
+    ``str`` — so ad-hoc one-liners still work, but every tabular
+    report shares one code path.
+    """
+    if isinstance(block, Table):
+        return block.render()
+    if isinstance(block, ComparisonRow):
+        return comparison_table([block]).render()
+    if isinstance(block, (list, tuple)) and block and all(
+        isinstance(item, ComparisonRow) for item in block
+    ):
+        return comparison_table(block).render()
+    return str(block)

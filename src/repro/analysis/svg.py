@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.schedule import Schedule
 from ..sim.trace import IterationTrace
 
-__all__ = ["schedule_to_svg", "trace_to_svg"]
+__all__ = ["schedule_to_svg", "sparkline", "trace_to_svg"]
 
 _ROW_HEIGHT = 34
 _ROW_GAP = 10
@@ -79,6 +79,25 @@ class _Canvas:
         self.elements.append(
             f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
             f'stroke="{color}" stroke-width="1"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        color: str = "#111",
+        stroke_width: float = 1.5,
+    ) -> None:
+        path = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="{stroke_width}" stroke-linejoin="round"/>'
+        )
+
+    def circle(
+        self, x: float, y: float, r: float, fill: str = "#111"
+    ) -> None:
+        self.elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{fill}"/>'
         )
 
     def render(self) -> str:
@@ -246,4 +265,42 @@ def trace_to_svg(
             size=11,
             color="#a00",
         )
+    return canvas.render()
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 36,
+    color: str = "#1a6",
+    label: str = "",
+) -> str:
+    """A small inline trend line over ``values`` (oldest first).
+
+    Built for the benchmark dashboard: one sparkline per tracked
+    metric across snapshots, latest point marked with a dot.  A single
+    value renders as a flat line, an empty series as an empty frame —
+    both keep the dashboard layout stable.
+    """
+    pad = 4.0
+    canvas = _Canvas(width, height, label or "sparkline")
+    series = [float(v) for v in values]
+    if series:
+        low, high = min(series), max(series)
+        span = high - low
+        if span <= 0:
+            span, low = 1.0, low - 0.5
+        inner_w = width - 2 * pad
+        inner_h = height - 2 * pad
+        step = inner_w / max(len(series) - 1, 1)
+        points = [
+            (
+                pad + index * step if len(series) > 1 else width / 2,
+                pad + inner_h * (1.0 - (value - low) / span),
+            )
+            for index, value in enumerate(series)
+        ]
+        if len(points) > 1:
+            canvas.polyline(points, color=color)
+        canvas.circle(points[-1][0], points[-1][1], 2.5, fill=color)
     return canvas.render()

@@ -16,6 +16,10 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
         [--op NAME] [--full]
     repro-scheduler lint [PROBLEM ...] [--paper all] [--method auto] \
         [--format text|json|sarif] [--suppress FT214,...] [--fail-on error]
+    repro-scheduler bench run [--suite quick] [--out BENCH_quick.json]
+    repro-scheduler bench compare BASELINE [CURRENT] [--no-timings]
+    repro-scheduler bench report [SNAPSHOT ...] [--out bench_dashboard.html]
+    repro-scheduler bench list
     repro-scheduler advise PROBLEM
     repro-scheduler paper [--which first|second|all] [--gantt]
     repro-scheduler figures OUTDIR
@@ -35,6 +39,12 @@ to capture a trace of a normal run, and ``--obs-off`` forces
 instrumentation off.  The global ``-v``/``-vv``/``--quiet`` flags (put
 them *before* the subcommand) set the ``repro`` log level to
 INFO/DEBUG/ERROR; see ``docs/observability.md``.
+
+Benchmark tracking: ``bench run`` executes a registered scenario suite
+under instrumentation and writes a ``BENCH_<suite>.json`` snapshot;
+``bench compare`` diffs two snapshots and exits non-zero on regression
+verdicts (the CI gate, like ``lint``); ``bench report`` renders a
+snapshot series as an HTML/SVG dashboard; see ``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ import json
 import logging
 import sys
 from contextlib import contextmanager
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
@@ -102,10 +113,27 @@ _PAPER_ALIASES = {
 
 
 def _load_any(path: str) -> Problem:
-    """Load a problem by extension: .aaa text format, else JSON."""
-    if path.endswith(".aaa"):
-        return load_problem_text(path)
-    return load_problem(path)
+    """Load a problem by extension: .aaa text format, else JSON.
+
+    Load failures become a clean one-line error (exit code 2), never a
+    traceback: pointing a command at a missing file, malformed JSON,
+    or a different artifact (e.g. a ``schedule --json`` export, which
+    carries no problem definition and no decision log) is an everyday
+    mistake, not an internal error.
+    """
+    try:
+        if path.endswith(".aaa"):
+            return load_problem_text(path)
+        return load_problem(path)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        raise SystemExit(
+            f"error: {path} is not a problem file "
+            f"({type(error).__name__}: {error}); expected the problem "
+            "JSON of repro.graphs.io or a .aaa text file "
+            "(see repro export-example)"
+        )
 
 
 def _resolve_problem(args: argparse.Namespace) -> Problem:
@@ -436,7 +464,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     result = _run_method(problem, method, args.best_of)
     log = result.decisions
     if log is None or not log.records:
-        print("no decision log: the scheduler recorded no decisions")
+        print(
+            f"error: the {method} schedule carries no decision log, so "
+            "there is nothing to explain (decision logging is attached "
+            "by the list schedulers at run time; schedules loaded from "
+            "JSON or built by hand never have one)",
+            file=sys.stderr,
+        )
         return 1
     if args.op:
         try:
@@ -523,6 +557,91 @@ def _cmd_export_example(args: argparse.Namespace) -> int:
     else:
         save_problem(problem, args.file)
     print(f"wrote {args.which} paper example to {args.file}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .obs.bench import run_suite, save_snapshot
+
+    try:
+        snapshot = run_suite(
+            args.suite,
+            repeat=max(args.repeat, 1),
+            only=args.only or None,
+            label=args.label,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out = args.out or f"BENCH_{args.suite}.json"
+    save_snapshot(snapshot, out)
+    print(
+        f"wrote {len(snapshot.scenarios)} scenario(s) "
+        f"[suite {snapshot.suite}] to {out}"
+    )
+    for name, run in sorted(snapshot.scenarios.items()):
+        wall = run.metrics["wall_s"].value
+        print(f"  {name}: {len(run.metrics)} metrics, wall {wall:.4f}s")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .obs.bench import compare_snapshots, load_snapshot
+
+    try:
+        baseline = load_snapshot(args.baseline)
+        current_path = args.current or f"BENCH_{baseline.suite}.json"
+        current = load_snapshot(current_path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = compare_snapshots(
+        baseline,
+        current,
+        include_timings=not args.no_timings,
+        noise_scale=args.noise_scale,
+    )
+    print(report.render())
+    return report.gate(fail_on_removed=not args.allow_removed)
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from .obs.bench import load_snapshot, render_dashboard
+
+    paths = list(args.snapshots)
+    if not paths:
+        paths = sorted(str(p) for p in Path(".").glob("BENCH_*.json"))
+    if not paths:
+        print(
+            "error: no snapshots given and no BENCH_*.json found here; "
+            "run `repro bench run` first",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        snapshots = [load_snapshot(path) for path in paths]
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    document = render_dashboard(snapshots, title=args.title)
+    with open(args.out, "w") as handle:
+        handle.write(document)
+    print(
+        f"wrote dashboard over {len(snapshots)} snapshot(s) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from .obs.bench import all_scenarios, scenarios_for_suite
+
+    scenarios = (
+        scenarios_for_suite(args.suite) if args.suite else all_scenarios()
+    )
+    for scenario in scenarios:
+        suites = ",".join(scenario.suites)
+        print(f"{scenario.name}  [{suites}]  {scenario.description}")
+    print(f"{len(scenarios)} scenario(s)")
     return 0
 
 
@@ -748,6 +867,89 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("file")
     p_export.add_argument("--which", choices=("first", "second"), default="first")
     p_export.set_defaults(func=_cmd_export_example)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="longitudinal benchmark tracking: run suites into "
+        "BENCH_*.json snapshots, gate on regressions, render dashboards",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    pb_run = bench_sub.add_parser(
+        "run", help="run a scenario suite and write a snapshot"
+    )
+    pb_run.add_argument(
+        "--suite", default="quick",
+        help="suite tag to run (default: quick; see `bench list`)",
+    )
+    pb_run.add_argument(
+        "--only", action="append", default=[], metavar="SUBSTR",
+        help="run only scenarios whose name contains SUBSTR (repeatable)",
+    )
+    pb_run.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="repeat each scenario N times, keep the best wall clock",
+    )
+    pb_run.add_argument(
+        "--out", default="", metavar="FILE",
+        help="snapshot path (default: BENCH_<suite>.json)",
+    )
+    pb_run.add_argument(
+        "--label", default="", metavar="TEXT",
+        help="free-form label stored in the snapshot (e.g. a tag name)",
+    )
+    pb_run.set_defaults(func=_cmd_bench_run)
+
+    pb_cmp = bench_sub.add_parser(
+        "compare",
+        help="diff a current snapshot against a baseline; exit 1 on "
+        "regression verdicts (the CI gate)",
+    )
+    pb_cmp.add_argument("baseline", help="baseline BENCH_*.json")
+    pb_cmp.add_argument(
+        "current", nargs="?", default="",
+        help="current snapshot (default: BENCH_<suite>.json of the "
+        "baseline's suite, in the working directory)",
+    )
+    pb_cmp.add_argument(
+        "--no-timings", action="store_true",
+        help="ignore wall-clock metrics (compare across machines)",
+    )
+    pb_cmp.add_argument(
+        "--noise-scale", type=float, default=1.0, metavar="X",
+        help="multiply every noise threshold by X (2.0 = half as strict)",
+    )
+    pb_cmp.add_argument(
+        "--allow-removed", action="store_true",
+        help="do not fail when a tracked metric disappeared",
+    )
+    pb_cmp.set_defaults(func=_cmd_bench_compare)
+
+    pb_report = bench_sub.add_parser(
+        "report", help="render snapshots as an HTML/SVG dashboard"
+    )
+    pb_report.add_argument(
+        "snapshots", nargs="*", metavar="SNAPSHOT",
+        help="BENCH_*.json files, any order (default: glob the "
+        "working directory)",
+    )
+    pb_report.add_argument(
+        "--out", default="bench_dashboard.html", metavar="FILE",
+        help="output HTML path",
+    )
+    pb_report.add_argument(
+        "--title", default="repro bench dashboard",
+        help="dashboard page title",
+    )
+    pb_report.set_defaults(func=_cmd_bench_report)
+
+    pb_list = bench_sub.add_parser(
+        "list", help="print the registered scenarios and their suites"
+    )
+    pb_list.add_argument(
+        "--suite", default="", help="restrict to one suite tag"
+    )
+    pb_list.set_defaults(func=_cmd_bench_list)
 
     return parser
 

@@ -14,6 +14,13 @@ Three complementary views on a run, all stdlib-only:
 :mod:`repro.obs.runtime` holds the process-wide active
 :class:`Instrumentation`; instrumented code is free when it is
 disabled (the default).  See ``docs/observability.md``.
+
+:mod:`repro.obs.bench` builds on all three: it runs registered
+benchmark scenarios under instrumentation into ``BENCH_<suite>.json``
+snapshots, gates on regressions, and renders trajectory dashboards
+(``repro bench``, ``docs/benchmarks.md``).  It is *not* re-exported
+here — it imports :mod:`repro.core`, and ``repro.obs`` proper must
+stay a leaf the schedulers can import.
 """
 
 from .decisions import (

@@ -1,0 +1,178 @@
+"""The schedule-quality dashboard: snapshots -> standalone HTML.
+
+One self-contained HTML page (no external assets, viewable from a CI
+artifact or ``file://``) rendering the *trajectory* of every tracked
+metric across an ordered series of snapshots:
+
+* a header card with the suite, snapshot count, and the environment
+  fingerprint of the latest snapshot;
+* per scenario, one table — built on the same
+  :class:`repro.analysis.report.Table` the terminal reports use — with
+  the metric's latest value, its change since the oldest snapshot, an
+  inline SVG sparkline (:func:`repro.analysis.svg.sparkline`) of the
+  whole series, and a regression badge from the latest-vs-previous
+  comparison.
+
+Snapshots are ordered by their ``created`` timestamp, so feeding the
+function an unsorted glob of ``BENCH_*.json`` files still draws time
+left to right.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from ...analysis.report import HtmlCell, Table, format_value
+from ...analysis.svg import sparkline
+from .compare import compare_snapshots
+from .model import Snapshot
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1b1b1b; background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.env { color: #555; font-size: 0.85rem; margin-bottom: 1.5rem; }
+table.report { border-collapse: collapse; background: white;
+               box-shadow: 0 1px 2px rgba(0,0,0,0.08); }
+table.report caption { text-align: left; font-weight: 600;
+                       padding: 0.4rem 0; }
+table.report th, table.report td { border: 1px solid #ddd;
+    padding: 0.3rem 0.6rem; font-size: 0.9rem; text-align: left; }
+table.report th { background: #f0f0f0; }
+.badge { display: inline-block; padding: 0.1rem 0.5rem;
+         border-radius: 0.6rem; font-size: 0.8rem; color: white; }
+.badge.ok { background: #2a7; } .badge.improved { background: #17a; }
+.badge.regressed { background: #c33; } .badge.added { background: #888; }
+.badge.removed { background: #c80; } .badge.new { background: #888; }
+td svg { vertical-align: middle; }
+"""
+
+_VERDICT_COLOR = {
+    "regressed": "#c33",
+    "improved": "#17a",
+    "ok": "#1a6",
+    "added": "#888",
+}
+
+
+def _badge(verdict: str) -> HtmlCell:
+    return HtmlCell(
+        markup=f'<span class="badge {html.escape(verdict)}">'
+        f"{html.escape(verdict)}</span>",
+        text=verdict,
+    )
+
+
+def _scenario_table(
+    name: str,
+    snapshots: Sequence[Snapshot],
+    verdicts: Dict[str, str],
+) -> Table:
+    """The per-scenario metric table across the snapshot series."""
+    latest = snapshots[-1].scenarios[name]
+    table = Table(
+        headers=("metric", "latest", "unit", "vs first", "trend", "status"),
+        title=f"{name}",
+    )
+    for metric_name, metric in sorted(latest.metrics.items()):
+        series: List[float] = []
+        for snapshot in snapshots:
+            past = snapshot.metric(name, metric_name)
+            if past is not None:
+                series.append(past.value)
+        first = series[0] if series else metric.value
+        if first:
+            vs_first = f"{(metric.value - first) / abs(first):+.2%}"
+        else:
+            vs_first = "-"
+        verdict = verdicts.get(metric_name, "new")
+        color = _VERDICT_COLOR.get(verdict, "#888")
+        table.add(
+            metric_name,
+            metric.value,
+            metric.unit,
+            vs_first,
+            HtmlCell(
+                markup=sparkline(
+                    series, color=color,
+                    label=f"{name}:{metric_name} trend",
+                ),
+                text=" ".join(format_value(v) for v in series),
+            ),
+            _badge(verdict),
+        )
+    return table
+
+
+def render_dashboard(
+    snapshots: Sequence[Snapshot], title: str = "repro bench dashboard"
+) -> str:
+    """Render the snapshot series as one standalone HTML document."""
+    if not snapshots:
+        raise ValueError("no snapshots to render")
+    ordered = sorted(snapshots, key=lambda s: s.created)
+    latest = ordered[-1]
+    previous: Optional[Snapshot] = ordered[-2] if len(ordered) > 1 else None
+
+    verdicts: Dict[str, Dict[str, str]] = {}
+    regression_count = 0
+    if previous is not None:
+        report = compare_snapshots(previous, latest)
+        for delta in report.deltas:
+            verdicts.setdefault(delta.scenario, {})[delta.metric] = (
+                delta.verdict
+            )
+        regression_count = len(report.regressions) + len(report.removed)
+
+    env = latest.environment
+    env_line = ", ".join(
+        f"{key}={env.get(key, '?')}"
+        for key in ("platform", "python", "commit")
+    )
+    status = (
+        f'<span class="badge regressed">{regression_count} regression(s) '
+        "vs previous snapshot</span>"
+        if regression_count
+        else '<span class="badge ok">no regressions vs previous '
+        "snapshot</span>"
+        if previous is not None
+        else '<span class="badge added">single snapshot — no comparison '
+        "basis</span>"
+    )
+
+    sections = []
+    scenario_names = sorted(
+        {name for snapshot in ordered for name in snapshot.scenarios}
+    )
+    for name in scenario_names:
+        if name not in latest.scenarios:
+            sections.append(
+                f"<h2>{html.escape(name)}</h2>"
+                '<p><span class="badge removed">removed</span> '
+                "absent from the latest snapshot</p>"
+            )
+            continue
+        with_scenario = [s for s in ordered if name in s.scenarios]
+        table = _scenario_table(name, with_scenario, verdicts.get(name, {}))
+        sections.append(table.render_html())
+
+    span = (
+        f"{ordered[0].created} → {latest.created}"
+        if len(ordered) > 1
+        else latest.created
+    )
+    return (
+        "<!DOCTYPE html>\n<html>\n<head>\n"
+        f"<meta charset=\"utf-8\">\n<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f"<p>{status}</p>\n"
+        f'<p class="env">suite <b>{html.escape(latest.suite)}</b> · '
+        f"{len(ordered)} snapshot(s) · {html.escape(span)} · "
+        f"{html.escape(env_line)}</p>\n"
+        + "\n".join(sections)
+        + "\n</body>\n</html>\n"
+    )

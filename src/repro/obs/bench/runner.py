@@ -1,0 +1,96 @@
+"""Execute registered scenarios under instrumentation into snapshots.
+
+Each scenario runs inside its own :func:`repro.obs.instrumented`
+session, so obs counters start from zero and a scenario's metrics
+cannot bleed into its neighbor's.  Wall clock is measured around the
+whole scenario body as min-of-``repeat`` (the standard way to shave
+scheduler jitter off a microbenchmark); the quality/counter metrics
+come from the *last* repeat — they are deterministic, so any repeat
+reports the same numbers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Iterable, List, Optional
+
+from ..runtime import instrumented
+from .model import (
+    Metric,
+    ScenarioRun,
+    Snapshot,
+    environment_fingerprint,
+    utc_now,
+)
+from .registry import Scenario, scenarios_for_suite
+
+__all__ = ["run_scenario", "run_suite"]
+
+LOGGER = logging.getLogger(__name__)
+
+#: Relative noise tolerated on wall-clock metrics before the
+#: comparator gates — generous, because CI machines differ wildly.
+WALL_NOISE = 0.75
+
+
+def run_scenario(scenario: Scenario, repeat: int = 1) -> ScenarioRun:
+    """Run one scenario ``repeat`` times; returns its metric set.
+
+    The returned run always contains a ``wall_s`` timing metric (best
+    of the repeats) next to whatever the scenario function measured.
+    """
+    repeat = max(repeat, 1)
+    best_wall = float("inf")
+    metrics = {}
+    for _ in range(repeat):
+        with instrumented() as obs:
+            started = time.perf_counter()
+            metrics = scenario.fn(obs, **scenario.params)
+            wall = time.perf_counter() - started
+        best_wall = min(best_wall, wall)
+    metrics = dict(metrics)
+    metrics.setdefault(
+        "wall_s",
+        Metric(best_wall, unit="s", direction="lower", kind="timing",
+               noise=WALL_NOISE),
+    )
+    return ScenarioRun(
+        name=scenario.name, params=dict(scenario.params), metrics=metrics
+    )
+
+
+def run_suite(
+    suite: str,
+    repeat: int = 1,
+    only: Optional[Iterable[str]] = None,
+    label: str = "",
+) -> Snapshot:
+    """Run every scenario of ``suite`` into a fresh snapshot.
+
+    ``only`` (scenario-name substrings) narrows the selection without
+    changing the suite tag recorded in the snapshot.
+    """
+    selected: List[Scenario] = scenarios_for_suite(suite)
+    if only:
+        wanted = tuple(only)
+        selected = [
+            s for s in selected if any(w in s.name for w in wanted)
+        ]
+    if not selected:
+        raise ValueError(f"no scenarios selected for suite {suite!r}")
+    snapshot = Snapshot(
+        suite=suite,
+        environment=environment_fingerprint(),
+        created=utc_now(),
+        label=label,
+    )
+    for scenario in selected:
+        LOGGER.info("bench: running %s", scenario.name)
+        run = run_scenario(scenario, repeat=repeat)
+        LOGGER.info(
+            "bench: %s -> %d metrics, wall %.4fs",
+            scenario.name, len(run.metrics), run.metrics["wall_s"].value,
+        )
+        snapshot.add(run)
+    return snapshot

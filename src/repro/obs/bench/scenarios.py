@@ -1,0 +1,196 @@
+"""Built-in benchmark scenarios: the paper's experiments as tracked numbers.
+
+Each scenario wraps one experiment the ``benchmarks/`` scripts already
+reproduce (see EXPERIMENTS.md) and distills it into the metrics worth
+tracking across commits:
+
+* **quality** — the paper's quantities: makespans, overhead vs the
+  recovered SynDEx baseline, simulated responses, Monte-Carlo
+  availability with its Wilson 95% CI.  Deterministic, so their noise
+  threshold is zero: any drift is a real behavior change.
+* **counter** — obs counters (``pressure.evals``, ``sim.frames_sent``,
+  ...): exact algorithmic work measures, immune to machine speed.  A
+  jump here is a complexity regression even when the wall clock hides
+  it.
+* **timing** — wall-clock seconds, min-of-repeats.  Noisy; generous
+  thresholds, and CI compares with ``--no-timings``.
+
+Importing this module registers everything; the registry does that
+lazily on first query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...analysis.metrics import overhead
+from ...core import schedule_solution1, schedule_solution2
+from ...core.syndex import SyndexScheduler
+from ...graphs.generators import random_bus_problem
+from ...paper import examples, expected
+from ...sim import FailureScenario, simulate
+from ...sim.montecarlo import estimate_availability
+from .model import Metric
+from .registry import scenario
+
+__all__ = []  # scenarios register themselves; nothing to import
+
+#: Counters whose values are exact measures of algorithmic work.
+_WORK_COUNTERS = (
+    "pressure.evals",
+    "scheduler.steps",
+    "sim.frames_sent",
+    "sim.executions",
+)
+
+
+def _work_metrics(obs) -> Dict[str, Metric]:
+    """The obs work counters recorded so far, as exact counter metrics."""
+    metrics: Dict[str, Metric] = {}
+    for name in _WORK_COUNTERS:
+        value = obs.registry.counter_value(name)
+        if value:
+            metrics[name] = Metric(value, unit="events", direction="exact",
+                                   kind="counter")
+    return metrics
+
+
+@scenario(
+    "schedule.fig17.solution1",
+    "Solution 1 on the paper's first (bus) example — Figure 17",
+    suites=("quick", "full"),
+    failures=1,
+)
+def fig17_solution1(obs, failures: int) -> Dict[str, Metric]:
+    problem = examples.first_example_problem(failures=failures)
+    result = schedule_solution1(problem)
+    metrics = {
+        "makespan": Metric(result.makespan, unit="time", direction="exact"),
+        "replicas": Metric(
+            sum(len(s.placements) for s in result.steps),
+            unit="replicas", direction="exact", kind="counter",
+        ),
+    }
+    metrics.update(_work_metrics(obs))
+    return metrics
+
+
+@scenario(
+    "schedule.fig22.solution2",
+    "Solution 2 on the paper's second (point-to-point) example — Figure 22",
+    suites=("quick", "full"),
+    failures=1,
+)
+def fig22_solution2(obs, failures: int) -> Dict[str, Metric]:
+    problem = examples.second_example_problem(failures=failures)
+    result = schedule_solution2(problem)
+    metrics = {
+        "makespan": Metric(result.makespan, unit="time", direction="exact"),
+    }
+    metrics.update(_work_metrics(obs))
+    return metrics
+
+
+@scenario(
+    "overhead.fig17.vs_baseline",
+    "Section 6.6 fault-tolerance overhead vs the recovered Figure 19 baseline",
+    suites=("quick", "full"),
+)
+def fig17_overhead(obs) -> Dict[str, Metric]:
+    problem = examples.first_example_problem(failures=1)
+    solution = schedule_solution1(problem)
+    baseline = expected.find_seed_for_makespan(
+        SyndexScheduler, problem, expected.FIG19_BASELINE_MAKESPAN
+    )
+    if baseline is None:
+        raise RuntimeError("Figure 19 baseline not found in tie family")
+    report = overhead(baseline.schedule, solution.schedule)
+    return {
+        "baseline_makespan": Metric(
+            baseline.makespan, unit="time", direction="exact"
+        ),
+        "overhead_abs": Metric(report.absolute, unit="time", direction="lower"),
+        "overhead_rel": Metric(report.relative, unit="ratio", direction="lower"),
+    }
+
+
+@scenario(
+    "sim.fig18.crash_p2",
+    "Figure 18 transient iteration: P2 crashes at t=3.0 under Solution 1",
+    suites=("quick", "full"),
+    crash_at=3.0,
+)
+def fig18_crash(obs, crash_at: float) -> Dict[str, Metric]:
+    problem = examples.first_example_problem(failures=1)
+    result = schedule_solution1(problem)
+    trace = simulate(result.schedule, FailureScenario.crash("P2", crash_at))
+    if not trace.completed:
+        raise RuntimeError("Figure 18 crash iteration did not complete")
+    return {
+        "response": Metric(trace.response_time, unit="time", direction="exact"),
+        "frames_sent": Metric(
+            obs.registry.counter_value("sim.frames_sent"),
+            unit="frames", direction="exact", kind="counter",
+        ),
+        "detections": Metric(
+            obs.registry.counter_value("sim.detections"),
+            unit="events", direction="exact", kind="counter",
+        ),
+    }
+
+
+@scenario(
+    "montecarlo.fig17.availability",
+    "Monte-Carlo availability of the Figure 17 schedule at p=0.1",
+    suites=("quick", "full"),
+    crash_probability=0.1,
+    trials=120,
+    seed=11,
+)
+def fig17_availability(
+    obs, crash_probability: float, trials: int, seed: int
+) -> Dict[str, Metric]:
+    problem = examples.first_example_problem(failures=1)
+    result = schedule_solution1(problem)
+    estimate = estimate_availability(
+        result.schedule, crash_probability, trials=trials, seed=seed
+    )
+    low, high = estimate.availability_ci95
+    return {
+        # Seeded, hence exactly reproducible — tracked as quality with
+        # its CI bounds alongside for the dashboard.
+        "availability": Metric(
+            estimate.availability, unit="fraction", direction="exact"
+        ),
+        "ci_low": Metric(low, unit="fraction", direction="higher", noise=1.0),
+        "ci_high": Metric(high, unit="fraction", direction="higher", noise=1.0),
+        "survival_given_crash": Metric(
+            estimate.conditional_survival, unit="fraction", direction="exact"
+        ),
+        "trials_per_s": Metric(
+            estimate.trials_per_second, unit="1/s",
+            direction="higher", kind="timing", noise=0.6,
+        ),
+    }
+
+
+@scenario(
+    "schedule.random24.solution1",
+    "Solution 1 on a 24-operation random bus workload (scalability probe)",
+    suites=("full",),
+    operations=24,
+    processors=4,
+    seed=3,
+)
+def random24_solution1(
+    obs, operations: int, processors: int, seed: int
+) -> Dict[str, Metric]:
+    problem = random_bus_problem(
+        operations=operations, processors=processors, failures=1, seed=seed
+    )
+    result = schedule_solution1(problem)
+    metrics = {
+        "makespan": Metric(result.makespan, unit="time", direction="lower"),
+    }
+    metrics.update(_work_metrics(obs))
+    return metrics

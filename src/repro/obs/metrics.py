@@ -76,20 +76,25 @@ class Histogram:
     """A sample distribution with exact quantiles.
 
     Samples are kept verbatim (the workloads here record thousands of
-    observations, not millions), so :meth:`quantile` is exact: sort
-    once per query, interpolate linearly between order statistics.
+    observations, not millions), so :meth:`quantile` is exact —
+    interpolated linearly between order statistics.  The sorted view
+    is cached and invalidated on :meth:`observe`, so the common
+    read pattern (a snapshot asks for min/p50/p90/p99/max back to
+    back) sorts once, not once per quantile.
     """
 
-    __slots__ = ("name", "_samples", "_lock")
+    __slots__ = ("name", "_samples", "_sorted", "_lock")
 
     def __init__(self, name: str, lock: threading.RLock) -> None:
         self.name = name
         self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
         self._lock = lock
 
     def observe(self, value: float) -> None:
         with self._lock:
             self._samples.append(float(value))
+            self._sorted = None
 
     @property
     def count(self) -> int:
@@ -116,7 +121,9 @@ class Histogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         with self._lock:
-            data = sorted(self._samples)
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            data = self._sorted
         if not data:
             return 0.0
         position = q * (len(data) - 1)

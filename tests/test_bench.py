@@ -1,0 +1,341 @@
+"""Tests for :mod:`repro.obs.bench` — registry, runner, snapshots,
+comparator, dashboard, and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    SCHEMA_ID,
+    Metric,
+    ScenarioRun,
+    Snapshot,
+    all_scenarios,
+    compare_snapshots,
+    environment_fingerprint,
+    get_scenario,
+    load_snapshot,
+    render_dashboard,
+    run_scenario,
+    run_suite,
+    save_snapshot,
+    scenarios_for_suite,
+    suite_names,
+    validate_snapshot,
+)
+
+
+def make_snapshot(values, suite="quick", created="2026-01-01T00:00:00Z"):
+    """A hand-built snapshot: {scenario: {metric: Metric}}."""
+    snapshot = Snapshot(
+        suite=suite, environment=environment_fingerprint(), created=created
+    )
+    for scenario_name, metrics in values.items():
+        snapshot.add(ScenarioRun(name=scenario_name, metrics=dict(metrics)))
+    return snapshot
+
+
+class TestMetricModel:
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            Metric(1.0, direction="sideways")
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Metric(1.0, kind="vibes")
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            Metric(1.0, noise=-0.1)
+
+    def test_round_trips_through_dict(self):
+        metric = Metric(9.4, unit="time", direction="exact", kind="quality",
+                        noise=0.0)
+        assert Metric.from_dict(metric.to_dict()) == metric
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = {s.name for s in all_scenarios()}
+        assert "schedule.fig17.solution1" in names
+        assert "montecarlo.fig17.availability" in names
+
+    def test_quick_suite_nonempty_and_subset_of_full(self):
+        quick = {s.name for s in scenarios_for_suite("quick")}
+        full = {s.name for s in scenarios_for_suite("full")}
+        assert quick and quick <= full
+
+    def test_suite_names(self):
+        assert {"quick", "full"} <= set(suite_names())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("no.such.scenario")
+
+
+class TestRunner:
+    def test_fig17_scenario_reproduces_paper_makespan(self):
+        run = run_scenario(get_scenario("schedule.fig17.solution1"))
+        assert run.metrics["makespan"].value == pytest.approx(9.4)
+        assert run.metrics["makespan"].direction == "exact"
+        # Obs counters were collected per-scenario.
+        assert run.metrics["pressure.evals"].kind == "counter"
+        assert run.metrics["pressure.evals"].value > 0
+
+    def test_wall_clock_metric_always_present(self):
+        run = run_scenario(get_scenario("schedule.fig22.solution2"))
+        assert run.metrics["wall_s"].kind == "timing"
+        assert run.metrics["wall_s"].value > 0
+
+    def test_repeat_keeps_best_wall(self):
+        single = run_scenario(get_scenario("sim.fig18.crash_p2"), repeat=1)
+        repeated = run_scenario(get_scenario("sim.fig18.crash_p2"), repeat=3)
+        # Deterministic metrics identical; wall clock just has to exist.
+        assert (
+            repeated.metrics["response"].value
+            == single.metrics["response"].value
+        )
+
+    def test_run_suite_snapshot_is_schema_valid(self):
+        snapshot = run_suite("quick", only=["fig17.solution1"])
+        assert validate_snapshot(snapshot.to_dict()) == []
+        assert snapshot.environment["python"]
+        assert snapshot.created
+
+    def test_run_suite_rejects_empty_selection(self):
+        with pytest.raises(ValueError):
+            run_suite("quick", only=["no-such-scenario"])
+
+
+class TestSnapshotIO:
+    def test_save_load_round_trip(self, tmp_path):
+        snapshot = make_snapshot(
+            {"s": {"m": Metric(1.5, unit="time", direction="lower")}}
+        )
+        path = save_snapshot(snapshot, tmp_path / "BENCH_quick.json")
+        loaded = load_snapshot(path)
+        assert loaded.suite == "quick"
+        assert loaded.metric("s", "m") == Metric(
+            1.5, unit="time", direction="lower"
+        )
+
+    def test_schema_id_stamped(self, tmp_path):
+        snapshot = make_snapshot({"s": {"m": Metric(1.0)}})
+        path = save_snapshot(snapshot, tmp_path / "b.json")
+        assert json.loads(path.read_text())["schema"] == SCHEMA_ID
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_snapshot(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "other/9", "suite": "x"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+    def test_validate_reports_metric_problems(self):
+        data = {
+            "schema": SCHEMA_ID,
+            "suite": "quick",
+            "environment": {},
+            "scenarios": {
+                "s": {"metrics": {"m": {"value": "NaN-ish",
+                                        "direction": "up"}}}
+            },
+        }
+        problems = " ".join(validate_snapshot(data))
+        assert "numeric value" in problems and "direction" in problems
+
+
+class TestComparator:
+    def base(self, **overrides):
+        metrics = {
+            "makespan": Metric(9.4, unit="time", direction="exact"),
+            "avail": Metric(0.95, direction="higher", noise=0.01),
+            "wall_s": Metric(0.5, unit="s", direction="lower",
+                             kind="timing", noise=0.75),
+        }
+        metrics.update(overrides)
+        return make_snapshot({"scn": metrics})
+
+    def test_identical_snapshots_pass(self):
+        report = compare_snapshots(self.base(), self.base())
+        assert report.gate() == 0
+        assert not report.regressions
+
+    def test_exact_metric_gates_in_both_directions(self):
+        for drifted in (9.3, 9.5):
+            report = compare_snapshots(
+                self.base(), self.base(makespan=Metric(drifted, unit="time",
+                                                       direction="exact"))
+            )
+            assert report.gate() == 1
+            assert report.regressions[0].metric == "makespan"
+
+    def test_higher_is_better_regresses_downward_only(self):
+        worse = compare_snapshots(
+            self.base(), self.base(avail=Metric(0.80, direction="higher",
+                                                noise=0.01))
+        )
+        better = compare_snapshots(
+            self.base(), self.base(avail=Metric(0.99, direction="higher",
+                                                noise=0.01))
+        )
+        assert worse.gate() == 1
+        assert [d.verdict for d in better.deltas
+                if d.metric == "avail"] == ["improved"]
+        assert better.gate() == 0
+
+    def test_noise_threshold_absorbs_small_drift(self):
+        report = compare_snapshots(
+            self.base(), self.base(avail=Metric(0.9495, direction="higher",
+                                                noise=0.01))
+        )
+        assert report.gate() == 0
+
+    def test_noise_scale_loosens_the_gate(self):
+        current = self.base(avail=Metric(0.93, direction="higher",
+                                         noise=0.01))
+        strict = compare_snapshots(self.base(), current)
+        loose = compare_snapshots(self.base(), current, noise_scale=10.0)
+        assert strict.gate() == 1 and loose.gate() == 0
+
+    def test_timing_regression_gates_only_when_included(self):
+        current = self.base(wall_s=Metric(5.0, unit="s", direction="lower",
+                                          kind="timing", noise=0.75))
+        with_timings = compare_snapshots(self.base(), current)
+        without = compare_snapshots(self.base(), current,
+                                    include_timings=False)
+        assert with_timings.gate() == 1
+        assert without.gate() == 0
+        assert not any(d.metric == "wall_s" for d in without.deltas)
+
+    def test_removed_metric_gates_unless_allowed(self):
+        current = self.base()
+        del current.scenarios["scn"].metrics["avail"]
+        report = compare_snapshots(self.base(), current)
+        assert report.removed and report.gate() == 1
+        assert report.gate(fail_on_removed=False) == 0
+
+    def test_added_metric_never_gates(self):
+        current = self.base(extra=Metric(1.0))
+        report = compare_snapshots(self.base(), current)
+        assert report.gate() == 0
+        assert [d.verdict for d in report.deltas
+                if d.metric == "extra"] == ["added"]
+
+    def test_regression_named_in_render(self):
+        report = compare_snapshots(
+            self.base(), self.base(makespan=Metric(9.9, unit="time",
+                                                   direction="exact"))
+        )
+        text = report.render()
+        assert "REGRESSION" in text and "scn:makespan" in text
+
+
+class TestDashboard:
+    def series(self):
+        return [
+            make_snapshot(
+                {"scn": {"makespan": Metric(9.4, direction="exact"),
+                         "avail": Metric(0.94 + i * 0.01,
+                                         direction="higher")}},
+                created=f"2026-01-0{i + 1}T00:00:00Z",
+            )
+            for i in range(3)
+        ]
+
+    def test_sparkline_per_scenario(self):
+        html = render_dashboard(self.series())
+        assert html.count("<svg") >= 2  # one per metric of the scenario
+        assert "scn" in html and "</html>" in html
+
+    def test_single_snapshot_renders(self):
+        html = render_dashboard(self.series()[:1])
+        assert "<svg" in html and "single snapshot" in html
+
+    def test_regression_badge_vs_previous(self):
+        series = self.series()
+        series[-1].scenarios["scn"].metrics["makespan"] = Metric(
+            99.0, direction="exact"
+        )
+        html = render_dashboard(series)
+        assert "regression(s) vs previous snapshot" in html
+        assert 'class="badge regressed"' in html
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_dashboard([])
+
+
+class TestBenchCli:
+    def run_quick(self, tmp_path, name="BENCH_quick.json"):
+        out = tmp_path / name
+        code = main([
+            "bench", "run", "--suite", "quick",
+            "--only", "fig17.solution1", "--out", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_run_writes_schema_valid_snapshot(self, tmp_path, capsys):
+        out = self.run_quick(tmp_path)
+        assert validate_snapshot(json.loads(out.read_text())) == []
+        assert "wrote 1 scenario(s)" in capsys.readouterr().out
+
+    def test_compare_identical_exits_zero(self, tmp_path, capsys):
+        out = self.run_quick(tmp_path)
+        code = main(["bench", "compare", str(out), str(out)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_perturbed_exits_nonzero_and_names_metric(
+        self, tmp_path, capsys
+    ):
+        out = self.run_quick(tmp_path)
+        data = json.loads(out.read_text())
+        scn = data["scenarios"]["schedule.fig17.solution1"]
+        scn["metrics"]["makespan"]["value"] = 11.0
+        perturbed = tmp_path / "BENCH_perturbed.json"
+        perturbed.write_text(json.dumps(data))
+        code = main([
+            "bench", "compare", str(out), str(perturbed), "--no-timings",
+        ])
+        assert code == 1
+        captured = capsys.readouterr().out
+        assert "REGRESSION" in captured and "makespan" in captured
+
+    def test_compare_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(["bench", "compare", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_embeds_sparklines(self, tmp_path, capsys):
+        out = self.run_quick(tmp_path)
+        dashboard = tmp_path / "dash.html"
+        code = main([
+            "bench", "report", str(out), "--out", str(dashboard),
+        ])
+        assert code == 0
+        html = dashboard.read_text()
+        assert html.count("<svg") >= 1
+        assert "schedule.fig17.solution1" in html
+
+    def test_report_without_snapshots_is_clean_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "report"])
+        assert code == 2
+        assert "no snapshots" in capsys.readouterr().err
+
+    def test_list_names_every_registered_scenario(self, capsys):
+        code = main(["bench", "list"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        for scenario in all_scenarios():
+            assert scenario.name in captured

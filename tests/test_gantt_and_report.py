@@ -5,9 +5,11 @@ import pytest
 from repro.analysis.gantt import render_comparison, render_schedule, render_trace
 from repro.analysis.report import (
     ComparisonRow,
+    HtmlCell,
     Table,
     comparison_table,
     format_value,
+    render_block,
 )
 from repro.sim import FailureScenario, simulate
 
@@ -111,3 +113,40 @@ class TestComparisonTable:
         assert ComparisonRow("q", 1.0, 1.0).matches is True
         assert ComparisonRow("q", 1.0, 2.0).matches is False
         assert ComparisonRow("q", "a", "a").matches is None
+
+
+class TestHtmlRendering:
+    def test_render_html_escapes_cells(self):
+        table = Table(headers=("a<b",), title="t&t")
+        table.add("<script>")
+        html = table.render_html()
+        assert "a&lt;b" in html and "&lt;script&gt;" in html
+        assert "t&amp;t" in html
+        assert html.startswith('<table class="report">')
+
+    def test_html_cell_markup_passes_through(self):
+        table = Table(headers=("trend",))
+        table.add(HtmlCell(markup="<svg>spark</svg>", text="1 2 3"))
+        assert "<svg>spark</svg>" in table.render_html()
+        assert "1 2 3" in table.render()  # text fallback in terminals
+
+    def test_numbers_format_identically_in_both_renders(self):
+        table = Table(headers=("v",))
+        table.add(0.123456)
+        assert format_value(0.123456) in table.render()
+        assert format_value(0.123456) in table.render_html()
+
+
+class TestRenderBlock:
+    def test_table_goes_through_its_formatter(self):
+        table = Table(headers=("h",))
+        table.add("x")
+        assert render_block(table) == table.render()
+
+    def test_comparison_rows_become_the_standard_table(self):
+        rows = [ComparisonRow("q", 9.4, 9.4)]
+        assert render_block(rows) == comparison_table(rows).render()
+        assert render_block(rows[0]) == comparison_table(rows).render()
+
+    def test_plain_strings_pass_through(self):
+        assert render_block("one-liner") == "one-liner"

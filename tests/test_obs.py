@@ -318,3 +318,88 @@ class TestInstrumentedRuns:
         assert result.decisions is not None  # decisions are always kept
         obs = get_instrumentation()
         assert obs.registry.to_dict()["counters"] == {}
+
+
+class TestHistogramQuantileCache:
+    def test_cached_sort_reused_across_reads(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("x")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 2.0
+        # The cache is the sorted array itself; repeated reads must not
+        # re-sort (same object identity) and must stay correct.
+        first = hist._sorted
+        assert hist.quantile(0.9) == pytest.approx(2.8)
+        assert hist._sorted is first
+
+    def test_record_invalidates_the_cache(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("x")
+        hist.observe(10.0)
+        assert hist.quantile(1.0) == 10.0
+        hist.observe(0.0)
+        assert hist._sorted is None  # invalidated by the new sample
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_snapshot_after_new_samples_is_fresh(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("x")
+        for value in range(5):
+            hist.observe(float(value))
+        assert hist.snapshot()["p50"] == 2.0
+        hist.observe(100.0)
+        assert hist.snapshot()["max"] == 100.0
+        assert hist.snapshot()["p50"] == 2.5
+
+
+class TestChromeTraceConformance:
+    """Field conformance of the trace-event export: every event must
+    satisfy the Trace Event Format so chrome://tracing and Perfetto
+    always accept the file."""
+
+    def make_events(self):
+        tracer = Tracer()
+        with tracer.span("outer", label="x", count=3):
+            with tracer.span("inner"):
+                pass
+        return tracer.to_chrome_trace()
+
+    def test_complete_duration_phase(self):
+        for event in self.make_events():
+            assert event["ph"] == "X"
+
+    def test_timestamp_fields_are_nonnegative_numbers(self):
+        for event in self.make_events():
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert not isinstance(event["ts"], bool)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_pid_and_tid_are_integers(self):
+        for event in self.make_events():
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert not isinstance(event["pid"], bool)
+            assert not isinstance(event["tid"], bool)
+            assert event["pid"] >= 0 and event["tid"] >= 0
+
+    def test_name_is_string_and_args_json_object(self):
+        for event in self.make_events():
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["args"], dict)
+        json.dumps(self.make_events())  # round-trippable as-is
+
+    def test_exported_file_is_a_bare_event_array(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "conform.trace.json"
+        tracer.write_chrome_trace(str(path))
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        assert all(
+            {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            for e in events
+        )

@@ -170,3 +170,48 @@ class TestFT301Lint:
         code = main(["lint", "--paper", "first", "--method", "solution1"])
         assert code == 0  # warnings do not gate by default
         assert "FT301" in capsys.readouterr().out
+
+
+class TestExplainErrorPaths:
+    """`repro explain` must fail with a clear one-line error — never a
+    traceback — when there is nothing to explain."""
+
+    def test_missing_file_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "/no/such/problem.json"])
+        assert "cannot read" in str(excinfo.value.code)
+
+    def test_schedule_export_is_not_a_problem_file(self, tmp_path, capsys):
+        # A `repro schedule --json` export is a schedule, not a problem:
+        # it carries no decision log and cannot be re-explained.
+        from repro.core import schedule_solution1
+        from repro.graphs.io import schedule_to_dict
+
+        result = schedule_solution1(first_example_problem(failures=1))
+        path = tmp_path / "schedule.json"
+        path.write_text(json.dumps(schedule_to_dict(result.schedule)))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", str(path)])
+        message = str(excinfo.value.code)
+        assert "not a problem file" in message and str(path) in message
+
+    def test_malformed_json_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{definitely not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", str(path)])
+        assert "not a problem file" in str(excinfo.value.code)
+
+    def test_missing_decision_log_exits_nonzero(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        class NoLogResult:
+            decisions = None
+            makespan = 0.0
+
+        monkeypatch.setattr(
+            cli_module, "_run_method", lambda *a, **k: NoLogResult()
+        )
+        assert main(["explain", "--paper", "fig17"]) == 1
+        err = capsys.readouterr().err
+        assert "no decision log" in err and "nothing to explain" in err

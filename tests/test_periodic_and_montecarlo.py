@@ -104,3 +104,68 @@ class TestMonteCarloAvailability:
             bus_solution1.schedule, 0.1, trials=20, seed=2
         )
         assert "availability" in str(estimate)
+
+
+class TestWilsonInterval:
+    """Wilson 95% CI edge cases: the extremes where the naive normal
+    interval degenerates to zero width."""
+
+    @staticmethod
+    def estimate(trials, completed):
+        from repro.sim.montecarlo import AvailabilityEstimate
+
+        return AvailabilityEstimate(
+            trials=trials,
+            completed=completed,
+            crash_probability=0.5,
+            disturbed=trials - completed,
+            disturbed_completed=0,
+        )
+
+    @staticmethod
+    def wilson(successes, n):
+        z = 1.959963984540054
+        p = successes / n
+        denominator = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denominator
+        half = (z / denominator) * math.sqrt(
+            p * (1.0 - p) / n + z * z / (4.0 * n * n)
+        )
+        return max(0.0, center - half), min(1.0, center + half)
+
+    def test_zero_availability_keeps_positive_width(self):
+        low, high = self.estimate(50, 0).availability_ci95
+        assert low == 0.0
+        assert 0.0 < high < 0.15
+        assert (low, high) == pytest.approx(self.wilson(0, 50))
+
+    def test_full_availability_keeps_positive_width(self):
+        low, high = self.estimate(50, 50).availability_ci95
+        assert high == 1.0
+        assert 0.85 < low < 1.0
+        assert (low, high) == pytest.approx(self.wilson(50, 50))
+
+    def test_single_trial_interval_is_wide_but_bounded(self):
+        for completed in (0, 1):
+            low, high = self.estimate(1, completed).availability_ci95
+            assert 0.0 <= low < high <= 1.0
+            assert high - low > 0.5  # one observation proves very little
+            assert (low, high) == pytest.approx(self.wilson(completed, 1))
+
+    def test_zero_trials_interval_is_vacuous(self):
+        low, high = self.estimate(0, 0).availability_ci95
+        assert (low, high) == (0.0, 1.0)
+
+    def test_interval_always_brackets_the_point_estimate(self):
+        for trials, completed in ((1, 0), (1, 1), (7, 3), (100, 99)):
+            estimate = self.estimate(trials, completed)
+            low, high = estimate.availability_ci95
+            assert low <= estimate.availability <= high
+
+    def test_monte_carlo_run_matches_closed_form(self, bus_solution1):
+        estimate = estimate_availability(
+            bus_solution1.schedule, 0.3, trials=40, seed=5
+        )
+        assert estimate.availability_ci95 == pytest.approx(
+            self.wilson(estimate.completed, estimate.trials)
+        )

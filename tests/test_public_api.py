@@ -44,6 +44,13 @@ MODULES = [
     "repro.obs.tracing",
     "repro.obs.decisions",
     "repro.obs.runtime",
+    "repro.obs.bench",
+    "repro.obs.bench.model",
+    "repro.obs.bench.registry",
+    "repro.obs.bench.scenarios",
+    "repro.obs.bench.runner",
+    "repro.obs.bench.compare",
+    "repro.obs.bench.dashboard",
     "repro.lint",
     "repro.lint.model",
     "repro.lint.registry",

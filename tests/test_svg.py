@@ -66,3 +66,36 @@ class TestTraceSvg:
         trace = simulate(bus_baseline.schedule, FailureScenario.crash("P1", 0.0))
         if not trace.completed:
             assert "INCOMPLETE" in trace_to_svg(trace)
+
+
+class TestSparkline:
+    def parse(self, text):
+        import xml.etree.ElementTree as ET
+        return ET.fromstring(text)
+
+    def test_trend_line_with_final_dot(self):
+        from repro.analysis.svg import sparkline
+        text = sparkline([1.0, 2.0, 1.5, 3.0])
+        self.parse(text)
+        assert "<polyline" in text and "<circle" in text
+
+    def test_single_value_is_a_dot(self):
+        from repro.analysis.svg import sparkline
+        text = sparkline([9.4])
+        self.parse(text)
+        assert "<circle" in text and "<polyline" not in text
+
+    def test_empty_series_is_a_valid_empty_frame(self):
+        from repro.analysis.svg import sparkline
+        text = sparkline([])
+        self.parse(text)
+        assert "<circle" not in text
+
+    def test_flat_series_stays_inside_the_viewbox(self):
+        from repro.analysis.svg import sparkline
+        text = sparkline([2.0, 2.0, 2.0], width=100, height=30)
+        root = self.parse(text)
+        for poly in root.iter("{http://www.w3.org/2000/svg}polyline"):
+            for pair in poly.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 100 and 0 <= y <= 30
