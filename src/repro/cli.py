@@ -5,10 +5,11 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
     repro-scheduler [-v|-vv|--quiet] COMMAND ...
 
     repro-scheduler schedule PROBLEM --method solution1 \
-        [--best-of N] [--gantt] [--svg FILE] [--executive] [--json]
+        [--best-of N] [--jobs N] [--no-eval-cache] \
+        [--gantt] [--svg FILE] [--executive] [--json]
     repro-scheduler simulate PROBLEM --method solution1 \
         [--crash P2@3.0] [--iterations 3] [--period T] [--gantt] [--svg FILE]
-    repro-scheduler compare PROBLEM [--best-of N]
+    repro-scheduler compare PROBLEM [--best-of N] [--jobs N]
     repro-scheduler certify PROBLEM --method solution2
     repro-scheduler profile [PROBLEM] [--paper fig17] --method solution1 \
         [--crash P2@3.0] [--obs-out out.trace.json] [--metrics-out m.json]
@@ -204,11 +205,36 @@ def _obs_session(args: argparse.Namespace):
     )
 
 
-def _run_method(problem: Problem, method: str, best_of: int) -> ScheduleResult:
+def _run_method(
+    problem: Problem,
+    method: str,
+    best_of: int,
+    jobs: int = 1,
+    eval_cache: bool = True,
+) -> ScheduleResult:
     scheduler_class = _METHODS[method]
     if best_of > 0:
-        return best_over_seeds(scheduler_class, problem, attempts=best_of)
-    return scheduler_class(problem).run()
+        return best_over_seeds(
+            scheduler_class,
+            problem,
+            attempts=best_of,
+            jobs=jobs,
+            use_eval_cache=eval_cache,
+        )
+    return scheduler_class(problem, use_eval_cache=eval_cache).run()
+
+
+def _run_method_args(
+    problem: Problem, method: str, args: argparse.Namespace
+) -> ScheduleResult:
+    """:func:`_run_method` driven by the shared CLI flags on ``args``."""
+    return _run_method(
+        problem,
+        method,
+        args.best_of,
+        jobs=getattr(args, "jobs", 1),
+        eval_cache=not getattr(args, "no_eval_cache", False),
+    )
 
 
 def _parse_crash(text: str) -> FailureScenario:
@@ -221,7 +247,7 @@ def _parse_crash(text: str) -> FailureScenario:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     problem = _load_any(args.problem)
-    result = _run_method(problem, args.method, args.best_of)
+    result = _run_method_args(problem, args.method, args)
     schedule = result.schedule
     report = validate_schedule(schedule)
     print(f"method: {args.method}  makespan: {schedule.makespan:g}")
@@ -247,7 +273,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     problem = _load_any(args.problem)
-    result = _run_method(problem, args.method, args.best_of)
+    result = _run_method_args(problem, args.method, args)
     schedule = result.schedule
     scenario = _parse_crash(args.crash) if args.crash else FailureScenario.none()
     if args.period > 0:
@@ -302,10 +328,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     problem = _load_any(args.problem)
-    baseline = _run_method(problem, "baseline", args.best_of)
+    baseline = _run_method_args(problem, "baseline", args)
     rows = []
     for method in ("solution1", "solution2"):
-        result = _run_method(problem, method, args.best_of)
+        result = _run_method_args(problem, method, args)
         report = overhead(baseline.schedule, result.schedule)
         rows.append(
             (
@@ -335,7 +361,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 def _cmd_certify(args: argparse.Namespace) -> int:
     problem = _load_any(args.problem)
-    result = _run_method(problem, args.method, args.best_of)
+    result = _run_method_args(problem, args.method, args)
     report = certify_fault_tolerance(result.schedule)
     print(
         f"method: {args.method}  K={problem.failures}  "
@@ -390,7 +416,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if method != "none" and not report.errors:
             # A schedule is only meaningful on a sane problem; errors
             # in the FT1xx pass skip the FT2xx pass for this target.
-            result = _run_method(problem, method, args.best_of)
+            result = _run_method_args(problem, method, args)
             report.merge(lint_schedule(result.schedule, config))
         merged.merge(report)
 
@@ -417,7 +443,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     scenario = _parse_crash(args.crash) if args.crash else FailureScenario.none()
 
     if args.obs_off:
-        result = _run_method(problem, method, args.best_of)
+        result = _run_method_args(problem, method, args)
         trace = simulate(result.schedule, scenario)
         print(
             f"method: {method}  makespan: {result.makespan:g}  "
@@ -429,7 +455,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with instrumented() as instr:
         with instr.span("profile", method=method):
             with instr.timer("profile.schedule_s"):
-                result = _run_method(problem, method, args.best_of)
+                result = _run_method_args(problem, method, args)
             with instr.timer("profile.simulate_s"):
                 for _ in range(max(args.iterations, 1)):
                     trace = simulate(result.schedule, scenario)
@@ -461,7 +487,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     problem = _resolve_problem(args)
     method = args.method if args.method != "auto" else _auto_method(problem)
-    result = _run_method(problem, method, args.best_of)
+    result = _run_method_args(problem, method, args)
     log = result.decisions
     if log is None or not log.records:
         print(
@@ -681,6 +707,20 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="explore N tie-break seeds and keep the best makespan",
         )
+        add_perf_flags(p)
+
+    def add_perf_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the --best-of seed exploration "
+            "(any N produces the identical winner)",
+        )
+        p.add_argument(
+            "--no-eval-cache", action="store_true",
+            help="disable the incremental placement-evaluation cache "
+            "(schedules are bitwise identical either way; this is a "
+            "debugging/benchmarking escape hatch)",
+        )
 
     def add_obs_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -714,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--best-of", type=int, default=0, metavar="N",
             help="explore N tie-break seeds and keep the best makespan",
         )
+        add_perf_flags(p)
 
     p_schedule = sub.add_parser("schedule", help="produce a static schedule")
     add_common(p_schedule)

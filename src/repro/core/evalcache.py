@@ -1,0 +1,345 @@
+"""Incremental candidate-evaluation caching for the list schedulers.
+
+The SynDEx-style greedy loop (:mod:`repro.core.list_scheduler`) is
+O(steps x candidates x processors): at *every* step it re-evaluates
+``S(n)(o, p)`` for every candidate operation on every capable
+processor, even though committing one operation only moves the
+frontiers of the processors and links it actually touched.  This
+module makes that observation exploitable:
+
+* :class:`TrackedTimelineState` is a drop-in
+  :class:`~repro.core.timeline.TimelineState` whose dictionary
+  accesses are logged — reads into a per-evaluation *read set* while
+  an evaluation is being recorded, writes into a per-commit *write
+  set* — without changing any scheduling semantics;
+* :class:`EvaluationCache` memoizes one
+  :class:`~repro.core.list_scheduler.PlacementEvaluation` per
+  ``(operation, processor)`` pair together with the resource keys the
+  evaluation read, and invalidates exactly the entries whose read set
+  intersects a commit's write set.
+
+Resource keys are ``(tag, key)`` pairs mirroring the four timeline
+dictionaries: ``("proc", name)`` for computation-unit frontiers,
+``("link", name)`` for link frontiers, ``("dep", (dep, proc))`` for
+delivered-data arrivals and ``("rep", (op, proc))`` for local replica
+completions.  A *miss* on a dictionary lookup is logged too — an
+evaluation that found no local copy of an input depends on that
+absence, and must be invalidated when a later commit creates one.
+
+The tracking over-approximates on purpose (a ghost-local write
+followed by a ghost-local read still logs the read), which can only
+cause extra invalidations, never a stale hit — cached and uncached
+runs therefore produce bitwise-identical decision logs and makespans,
+the property ``tests/test_evalcache.py`` asserts across random
+problems.  See ``docs/performance.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .timeline import TimelineState
+
+__all__ = ["ResourceKey", "TrackedTimelineState", "EvaluationCache"]
+
+#: ``(tag, key)`` — one mutable slot of the scheduling state.
+ResourceKey = Tuple[str, object]
+
+#: Entry key of the cache: one (operation, processor) pair.
+EntryKey = Tuple[str, str]
+
+
+class _LoggedDict(dict):
+    """A dict logging key reads and/or writes into shared sets.
+
+    Reads are logged through :meth:`get` and ``[]`` — including lookups
+    that miss, since "the key was absent" is information an evaluation
+    depends on.  Bulk accessors (iteration, ``dict(d)``) deliberately
+    log nothing: a snapshot copy is not a read until the copy is
+    actually consulted, and the copy is itself a logging dict.
+    """
+
+    __slots__ = ("tag", "read_log", "write_log")
+
+    def __init__(
+        self,
+        data,
+        tag: str,
+        read_log: Optional[Set[ResourceKey]] = None,
+        write_log: Optional[Set[ResourceKey]] = None,
+    ) -> None:
+        super().__init__(data)
+        self.tag = tag
+        self.read_log = read_log
+        self.write_log = write_log
+
+    def get(self, key, default=None):
+        log = self.read_log
+        if log is not None:
+            log.add((self.tag, key))
+        return dict.get(self, key, default)
+
+    def __getitem__(self, key):
+        log = self.read_log
+        if log is not None:
+            log.add((self.tag, key))
+        return dict.__getitem__(self, key)
+
+    def __setitem__(self, key, value) -> None:
+        log = self.write_log
+        if log is not None:
+            log.add((self.tag, key))
+        dict.__setitem__(self, key, value)
+
+
+class _OverlayDict:
+    """A copy-on-write view over a committed ``_LoggedDict``.
+
+    Ghost states used for tentative evaluation historically cloned all
+    four timeline dictionaries eagerly — O(state size) per evaluation,
+    the dominant cost of the heuristic on large graphs.  An overlay
+    makes the clone O(1): reads fall through to the committed base
+    dictionary (and are logged into the evaluation's read set), writes
+    land in a small private ``local`` dict the ghost owns.  The base is
+    never mutated through an overlay, so a ghost stays a snapshot of
+    the commit point even while other ghosts are alive.
+
+    Only the operations the planners and :class:`TimelineState` helpers
+    actually use are implemented (``get``, ``[]``, ``[]=``, ``in``).
+    """
+
+    __slots__ = ("tag", "base", "local", "read_log")
+
+    def __init__(
+        self,
+        base: dict,
+        tag: str,
+        read_log: Optional[Set[ResourceKey]],
+        local: Optional[dict] = None,
+    ) -> None:
+        self.base = base
+        self.tag = tag
+        self.read_log = read_log
+        self.local = {} if local is None else local
+
+    def get(self, key, default=None):
+        log = self.read_log
+        if log is not None:
+            log.add((self.tag, key))
+        local = self.local
+        if key in local:
+            return local[key]
+        return dict.get(self.base, key, default)
+
+    def __getitem__(self, key):
+        log = self.read_log
+        if log is not None:
+            log.add((self.tag, key))
+        local = self.local
+        if key in local:
+            return local[key]
+        return dict.__getitem__(self.base, key)
+
+    def __setitem__(self, key, value) -> None:
+        self.local[key] = value
+
+    def __contains__(self, key) -> bool:
+        log = self.read_log
+        if log is not None:
+            log.add((self.tag, key))
+        return key in self.local or dict.__contains__(self.base, key)
+
+    def fork(self) -> "_OverlayDict":
+        """An independent overlay sharing the same committed base."""
+        return _OverlayDict(self.base, self.tag, self.read_log,
+                            dict(self.local))
+
+
+class _GhostTimelineState(TimelineState):
+    """The tentative-evaluation state: four overlays over the master.
+
+    Produced by :meth:`TrackedTimelineState.clone`; cloning a ghost
+    again (Solution 2 probes one per candidate sender) forks the
+    overlays, which stay O(writes so far), not O(state).
+    """
+
+    def clone(self) -> "_GhostTimelineState":
+        return _GhostTimelineState(
+            proc_free=self.proc_free.fork(),
+            link_free=self.link_free.fork(),
+            dep_arrival=self.dep_arrival.fork(),
+            replica_end=self.replica_end.fork(),
+        )
+
+
+class TrackedTimelineState(TimelineState):
+    """A :class:`TimelineState` whose accesses feed the eval cache.
+
+    The scheduler's *committed* state is wrapped once with a shared
+    write log (:meth:`tracking`); every ``state[...] = value`` during a
+    commit lands in it, and :meth:`drain_writes` hands the accumulated
+    write set to the cache after each commit.
+
+    While an evaluation is being recorded (:meth:`begin_reads` ..
+    :meth:`end_reads`), reads on the committed state *and* on every
+    ghost cloned from it are logged into the evaluation's read set:
+    :meth:`clone` propagates the active read log into the clone, so the
+    tentative states the heuristics mutate (and the probe clones
+    Solution 2 makes per candidate sender) keep recording.
+    """
+
+    @classmethod
+    def tracking(
+        cls, base: TimelineState, write_log: Set[ResourceKey]
+    ) -> "TrackedTimelineState":
+        """Wrap ``base`` as the scheduler's write-logged master state."""
+        state = cls(
+            proc_free=_LoggedDict(base.proc_free, "proc", write_log=write_log),
+            link_free=_LoggedDict(base.link_free, "link", write_log=write_log),
+            dep_arrival=_LoggedDict(base.dep_arrival, "dep", write_log=write_log),
+            replica_end=_LoggedDict(base.replica_end, "rep", write_log=write_log),
+        )
+        state._write_log = write_log
+        return state
+
+    # ``tracking`` installs this; plain constructed clones carry None.
+    _write_log: Optional[Set[ResourceKey]] = None
+
+    def begin_reads(self, read_log: Set[ResourceKey]) -> None:
+        """Start logging reads (on this state and future clones)."""
+        for family in self._families():
+            family.read_log = read_log
+
+    def end_reads(self) -> None:
+        """Stop logging reads on this state (clones die with the eval)."""
+        for family in self._families():
+            family.read_log = None
+
+    def drain_writes(self) -> Set[ResourceKey]:
+        """The write set accumulated since the last drain (then reset)."""
+        assert self._write_log is not None, "not a write-tracking state"
+        writes = set(self._write_log)
+        self._write_log.clear()
+        return writes
+
+    def clone(self) -> "_GhostTimelineState":
+        """An O(1) copy-on-write ghost recording into the active read log."""
+        return _GhostTimelineState(
+            proc_free=_OverlayDict(
+                self.proc_free, "proc", self.proc_free.read_log
+            ),
+            link_free=_OverlayDict(
+                self.link_free, "link", self.link_free.read_log
+            ),
+            dep_arrival=_OverlayDict(
+                self.dep_arrival, "dep", self.dep_arrival.read_log
+            ),
+            replica_end=_OverlayDict(
+                self.replica_end, "rep", self.replica_end.read_log
+            ),
+        )
+
+    def _families(self) -> Tuple[_LoggedDict, ...]:
+        return (
+            self.proc_free,
+            self.link_free,
+            self.dep_arrival,
+            self.replica_end,
+        )
+
+
+class EvaluationCache:
+    """Memoized placement evaluations with dependency-set invalidation.
+
+    ``lookup``/``store`` keep one evaluation per (op, processor) pair
+    plus the resource keys it read; ``invalidate`` drops every entry
+    whose read set intersects a commit's write set (via a reverse
+    index, so the cost is proportional to the entries actually
+    invalidated, not to the cache size); ``drop_op`` retires the
+    entries of an operation once it is scheduled.
+
+    The counters (:attr:`hits`, :attr:`misses`, :attr:`invalidated`)
+    are the scheduler's cache-effectiveness telemetry — surfaced as the
+    ``evalcache.*`` obs counters and gated by the benchmark suite.
+    """
+
+    __slots__ = ("_entries", "_readers", "_by_op", "hits", "misses",
+                 "invalidated")
+
+    def __init__(self) -> None:
+        self._entries: Dict[EntryKey, Tuple[object, frozenset]] = {}
+        self._readers: Dict[ResourceKey, Set[EntryKey]] = {}
+        self._by_op: Dict[str, Set[EntryKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, op: str, proc: str):
+        """The cached evaluation for (op, proc), or None on a miss."""
+        entry = self._entries.get((op, proc))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[0]
+
+    def store(
+        self, op: str, proc: str, evaluation, reads: Iterable[ResourceKey]
+    ) -> None:
+        """Remember ``evaluation`` together with the keys it read."""
+        key = (op, proc)
+        read_set = frozenset(reads)
+        self._entries[key] = (evaluation, read_set)
+        for resource in read_set:
+            self._readers.setdefault(resource, set()).add(key)
+        self._by_op.setdefault(op, set()).add(key)
+
+    def invalidate(self, written: Iterable[ResourceKey]) -> int:
+        """Drop entries whose read set intersects ``written``."""
+        stale: Set[EntryKey] = set()
+        for resource in written:
+            readers = self._readers.get(resource)
+            if readers:
+                stale.update(readers)
+        for key in stale:
+            self._discard(key)
+        self.invalidated += len(stale)
+        return len(stale)
+
+    def drop_op(self, op: str) -> None:
+        """Retire every entry of ``op`` (it has just been scheduled)."""
+        for key in list(self._by_op.get(op, ())):
+            self._discard(key)
+
+    def entries_for(self, op: str) -> List[EntryKey]:
+        """The live (op, proc) entries of ``op`` (test introspection)."""
+        return sorted(self._by_op.get(op, ()))
+
+    def reads_of(self, op: str, proc: str) -> frozenset:
+        """The recorded read set of a live entry (test introspection)."""
+        return self._entries[(op, proc)][1]
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _discard(self, key: EntryKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for resource in entry[1]:
+            readers = self._readers.get(resource)
+            if readers is not None:
+                readers.discard(key)
+                if not readers:
+                    del self._readers[resource]
+        by_op = self._by_op.get(key[0])
+        if by_op is not None:
+            by_op.discard(key)
+            if not by_op:
+                del self._by_op[key[0]]

@@ -37,6 +37,7 @@ from ..obs import (
     DecisionRecord,
     get_instrumentation,
 )
+from .evalcache import EvaluationCache, TrackedTimelineState
 from .pressure import PressurePrePass
 from .schedule import (
     CommSlot,
@@ -142,6 +143,15 @@ class ListScheduler(abc.ABC):
         is randomly chosen among them", micro-step mSn.2) — different
         seeds explore different equally-pressured schedules; see
         :func:`explore_seeds`.
+    use_eval_cache:
+        ``True`` (default) memoizes placement evaluations per
+        (operation, processor) pair and invalidates, after each
+        commit, only the entries whose inputs the commit touched
+        (:mod:`repro.core.evalcache`).  Schedules are bitwise
+        identical either way — the cache only skips recomputation of
+        values proven unchanged; ``False`` is the escape hatch
+        (``--no-eval-cache`` on the CLI) for debugging and for the
+        cache-effectiveness benchmarks.
     """
 
     #: How the runtime must interpret the produced schedule.
@@ -155,12 +165,18 @@ class ListScheduler(abc.ABC):
         problem: Problem,
         estimate_mode: str = "average",
         seed: Optional[int] = None,
+        use_eval_cache: bool = True,
     ) -> None:
         problem.check()
         self.problem = problem
         self.prepass = PressurePrePass.for_problem(problem, estimate_mode)
         self.planner = CommPlanner(problem)
         self.state = TimelineState.for_problem(problem)
+        #: Memoized placement evaluations (None = caching disabled).
+        self.eval_cache: Optional[EvaluationCache] = None
+        if use_eval_cache:
+            self.eval_cache = EvaluationCache()
+            self.state = TrackedTimelineState.tracking(self.state, set())
         self.rng = None if seed is None else random.Random(seed)
         #: Election order of each scheduled operation's processors
         #: (main first); filled in by :meth:`commit`.
@@ -255,6 +271,12 @@ class ListScheduler(abc.ABC):
             # mSn.3 -- commit the operation and its comms.
             with self.obs.span("scheduler.step", op=selected):
                 placements, comms = self.commit(selected, kept_per_op[selected])
+            if self.eval_cache is not None:
+                # Invalidate exactly the cached evaluations that read a
+                # processor/link frontier or data-availability entry
+                # this commit moved; the selected op itself is retired.
+                self.eval_cache.invalidate(self.state.drain_writes())
+                self.eval_cache.drop_op(selected)
             for placement in placements:
                 schedule.add_replica(placement)
             for slot in comms:
@@ -295,6 +317,11 @@ class ListScheduler(abc.ABC):
             )
 
         self.obs.count("scheduler.steps", len(steps))
+        if self.eval_cache is not None:
+            cache = self.eval_cache
+            self.obs.count("evalcache.hits", cache.hits)
+            self.obs.count("evalcache.misses", cache.misses)
+            self.obs.count("evalcache.invalidated", cache.invalidated)
         self.finalize(schedule)
         #: The decision log rides on the schedule so downstream
         #: consumers (FT301, ``repro explain``) need no side channel.
@@ -383,8 +410,7 @@ class ListScheduler(abc.ABC):
                 f"operation {op!r} can run on only {len(capable)} "
                 f"processor(s); K={self.problem.failures} requires {degree}"
             )
-        evaluations = [self.evaluate_placement(op, proc) for proc in capable]
-        self.obs.count("pressure.evals", len(evaluations))
+        evaluations = [self._evaluate_cached(op, proc) for proc in capable]
         if self.rng is not None:
             # Random tie-break: placements whose pressures tie (within
             # TIE_EPSILON) are ordered randomly, everything else keeps
@@ -397,6 +423,40 @@ class ListScheduler(abc.ABC):
             evaluations.sort(key=lambda e: e.sort_key)
         self._evaluated[op] = evaluations
         return evaluations[:degree]
+
+    def _evaluate_cached(self, op: str, proc: str) -> PlacementEvaluation:
+        """One placement evaluation, served from the cache when valid.
+
+        On a miss, the evaluation runs with read recording active: the
+        master state and every ghost cloned from it log the resource
+        keys consulted, and the cache remembers the evaluation against
+        that read set.  The evaluated processor's own frontier is
+        always a dependency, even for policy hooks that keep private
+        per-processor bookkeeping outside the timeline dictionaries
+        (the insertion variants' busy-interval lists): any placement on
+        ``proc`` also writes ``("proc", proc)`` via ``record_replica``,
+        so adding the key manually keeps those entries sound.
+
+        ``pressure.evals`` counts only the evaluations actually
+        computed — with the cache disabled that is every lookup, so the
+        counter remains the exact work measure the benchmarks track.
+        """
+        cache = self.eval_cache
+        if cache is None:
+            self.obs.count("pressure.evals")
+            return self.evaluate_placement(op, proc)
+        cached = cache.lookup(op, proc)
+        if cached is not None:
+            return cached
+        reads: set = {("proc", proc)}
+        self.state.begin_reads(reads)
+        try:
+            evaluation = self.evaluate_placement(op, proc)
+        finally:
+            self.state.end_reads()
+        self.obs.count("pressure.evals")
+        cache.store(op, proc, evaluation, reads)
+        return evaluation
 
     def input_sources(self, op: str) -> List[Tuple[Tuple[str, str], str]]:
         """The (dependency, predecessor) pairs feeding ``op``, sorted."""
@@ -430,11 +490,28 @@ class ListScheduler(abc.ABC):
 # Tie-break exploration
 # ----------------------------------------------------------------------
 
+def _run_one_seed(payload) -> ScheduleResult:
+    """Worker body of the parallel fan-out (module-level: picklable).
+
+    Each worker task carries its *own* seed from the caller's seed
+    list, so the scheduler's tie-break RNG is derived from (base seed
+    list, worker index) inside the worker — no worker ever consumes
+    another worker's random draws, which is what makes ``jobs=N``
+    bit-identical to a serial run for any N.
+    """
+    scheduler_class, problem, estimate_mode, seed, kwargs = payload
+    return scheduler_class(
+        problem, estimate_mode=estimate_mode, seed=seed, **kwargs
+    ).run()
+
+
 def explore_seeds(
     scheduler_class,
     problem: Problem,
     seeds: Sequence[Optional[int]],
     estimate_mode: str = "average",
+    jobs: int = 1,
+    **scheduler_kwargs,
 ) -> List[ScheduleResult]:
     """Run ``scheduler_class`` once per seed and return all results.
 
@@ -442,9 +519,27 @@ def explore_seeds(
     run is one sample of a small family of schedules.  Passing
     ``None`` among the seeds includes the deterministic
     (name-ordered) run.
+
+    ``jobs > 1`` fans the runs out over a process pool.  Results keep
+    the seed order and each run constructs its RNG from its own seed
+    inside the worker, so the returned list — decision logs included —
+    is identical whatever ``jobs`` is.  Obs counters emitted inside
+    worker processes are not aggregated back into the parent's
+    registry (the ``scheduler.best_over_seeds`` span still is).
     """
+    if jobs > 1 and len(seeds) > 1:
+        payloads = [
+            (scheduler_class, problem, estimate_mode, seed, scheduler_kwargs)
+            for seed in seeds
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+            return list(pool.map(_run_one_seed, payloads))
     return [
-        scheduler_class(problem, estimate_mode=estimate_mode, seed=seed).run()
+        scheduler_class(
+            problem, estimate_mode=estimate_mode, seed=seed, **scheduler_kwargs
+        ).run()
         for seed in seeds
     ]
 
@@ -454,6 +549,8 @@ def best_over_seeds(
     problem: Problem,
     attempts: int = 32,
     estimate_mode: str = "average",
+    jobs: int = 1,
+    **scheduler_kwargs,
 ) -> ScheduleResult:
     """The makespan-best schedule over the deterministic run plus
     ``attempts`` seeded runs.
@@ -461,7 +558,9 @@ def best_over_seeds(
     This mirrors how an adequation tool is used in practice: the
     heuristic is cheap, so one explores the tie-break space and keeps
     the best real-time performance.  Ties on makespan keep the
-    earliest run (deterministic first), making the result reproducible.
+    earliest run (deterministic first), making the result reproducible
+    — including under ``jobs > 1``, since :func:`explore_seeds`
+    preserves seed order and ``min`` is stable.
     """
     seeds: List[Optional[int]] = [None] + list(range(attempts))
     with get_instrumentation().span(
@@ -469,7 +568,10 @@ def best_over_seeds(
         method=scheduler_class.__name__,
         attempts=attempts,
     ):
-        results = explore_seeds(scheduler_class, problem, seeds, estimate_mode)
+        results = explore_seeds(
+            scheduler_class, problem, seeds, estimate_mode,
+            jobs=jobs, **scheduler_kwargs,
+        )
     best = min(results, key=lambda result: result.makespan)
     LOGGER.info(
         "best_over_seeds(%s): kept makespan %g over %d run(s)",

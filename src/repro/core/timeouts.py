@@ -113,13 +113,7 @@ def _drain_margin(
 
 def _largest_frame(problem: Problem, link: str) -> float:
     """Duration of the largest frame any dependency puts on ``link``."""
-    comm = problem.communication
-    durations = [
-        comm.duration(dep.key, link)
-        for dep in problem.algorithm.dependencies
-        if comm.has_duration(dep.key, link)
-    ]
-    return max(durations) if durations else 0.0
+    return problem.largest_frame(link)
 
 
 def compute_timeout_table(

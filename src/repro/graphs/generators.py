@@ -30,6 +30,7 @@ from .problem import Problem
 
 __all__ = [
     "layered_dag",
+    "layered",
     "fork_join_dag",
     "series_parallel_dag",
     "diamond_dag",
@@ -87,6 +88,30 @@ def layered_dag(
             if not graph.successors(op):
                 graph.add_dependency(op, rng.choice(names[level + 1]))
     return graph
+
+
+def layered(
+    width: int,
+    depth: int,
+    density: float = 0.25,
+    seed: int = 0,
+    name: str = "layered",
+) -> AlgorithmGraph:
+    """The size preset over :func:`layered_dag` the benchmarks use.
+
+    ``depth`` interior layers of ``width`` comps each, between a 2-extio
+    input layer and a 2-extio output layer — ``width * depth + 4``
+    operations in total.  Deterministic given ``seed``; the default
+    density matches the scheduler-scale bench scenarios
+    (``scheduler.layered.*`` in :mod:`repro.obs.bench.scenarios`), so
+    a REPL reproduction of a bench number is one call:
+    ``layered(16, 8, seed=7)``.
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    return layered_dag(
+        [2] + [width] * depth + [2], density=density, seed=seed, name=name
+    )
 
 
 def fork_join_dag(width: int = 4, stages: int = 2, name: str = "fork-join") -> AlgorithmGraph:

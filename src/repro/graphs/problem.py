@@ -74,6 +74,7 @@ class Problem:
         if self.deadline is not None and self.deadline <= 0:
             raise InfeasibleProblemError("deadline must be positive")
         self._routing: Optional[RoutingTable] = None
+        self._largest_frames: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Derived structures
@@ -89,6 +90,25 @@ class Problem:
     def replication_degree(self) -> int:
         """``K + 1``: how many replicas each operation needs."""
         return self.failures + 1
+
+    def largest_frame(self, link: str) -> float:
+        """Duration of the largest frame any dependency puts on ``link``.
+
+        A static quantity (algorithm and communication table are fixed
+        for a problem), memoized per link — the timeout ladders query
+        it once per traversed link per watched message.
+        """
+        cached = self._largest_frames.get(link)
+        if cached is None:
+            comm = self.communication
+            durations = [
+                comm.duration(dep.key, link)
+                for dep in self.algorithm.dependencies
+                if comm.has_duration(dep.key, link)
+            ]
+            cached = max(durations) if durations else 0.0
+            self._largest_frames[link] = cached
+        return cached
 
     def allowed_processors(self, op: str) -> List[str]:
         """Processors able to execute ``op``, in architecture order."""

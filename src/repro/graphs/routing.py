@@ -110,7 +110,19 @@ class RoutingTable:
     def __init__(self, architecture: Architecture) -> None:
         architecture.check()
         self._architecture = architecture
+        self._graph = architecture.routing_graph()
         self._routes: Dict[Tuple[str, str], Route] = {}
+        # Min-hop processor paths per ordered pair, enumerated once at
+        # construction; route_for_dependency only re-ranks these small
+        # lists instead of re-running a shortest-path search per call.
+        self._min_hop_paths: Dict[Tuple[str, str], Tuple[Tuple[str, ...], ...]] = {}
+        # Per-dependency route cache, valid for one CommunicationTable
+        # at a time (flushed on identity change — problems swap tables
+        # only when a new Problem is built, so in practice it sticks).
+        self._dep_routes: Dict[Tuple[str, str, DependencyKey], Route] = {}
+        self._dep_routes_table: Optional[CommunicationTable] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._compute_all()
 
     @property
@@ -118,7 +130,7 @@ class RoutingTable:
         return self._architecture
 
     def _compute_all(self) -> None:
-        graph = self._architecture.routing_graph()
+        graph = self._graph
         names = self._architecture.processor_names
         for proc in names:
             self._routes[(proc, proc)] = Route((proc,), ())
@@ -126,6 +138,9 @@ class RoutingTable:
         for src, dst in itertools.permutations(names, 2):
             if dst not in lengths.get(src, {}):
                 raise RoutingError(f"no route from {src!r} to {dst!r}")
+            self._min_hop_paths[(src, dst)] = tuple(
+                tuple(path) for path in nx.all_shortest_paths(graph, src, dst)
+            )
             self._routes[(src, dst)] = self._best_route(graph, src, dst)
 
     def _best_route(self, graph: nx.MultiGraph, src: str, dst: str) -> Route:
@@ -137,10 +152,7 @@ class RoutingTable:
         path whose (processors, links) pair is smallest wins.
         """
         candidates: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
-        best_len: Optional[int] = None
-        for path in nx.all_shortest_paths(graph, src, dst):
-            if best_len is None:
-                best_len = len(path)
+        for path in self._min_hop_paths[(src, dst)]:
             links = []
             for proc_a, proc_b in zip(path, path[1:]):
                 keys = sorted(graph[proc_a][proc_b])
@@ -170,12 +182,26 @@ class RoutingTable:
         the one with the smallest total transfer time for this
         dependency is chosen, falling back to the deterministic
         tie-break of :meth:`route`.
+
+        The chosen route depends only on (src, dst, dep) and the
+        communication table, all static for a given problem, so the
+        answer is memoized; the cache is flushed whenever a different
+        table object is passed.
         """
         if src == dst:
             return self._routes[(src, dst)]
-        graph = self._architecture.routing_graph()
+        if comm_table is not self._dep_routes_table:
+            self._dep_routes.clear()
+            self._dep_routes_table = comm_table
+        cache_key = (src, dst, dep)
+        cached = self._dep_routes.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        graph = self._graph
         best: Optional[Tuple[float, Tuple[str, ...], Tuple[str, ...]]] = None
-        for path in nx.all_shortest_paths(graph, src, dst):
+        for path in self._min_hop_paths[(src, dst)]:
             links = []
             for proc_a, proc_b in zip(path, path[1:]):
                 keys = sorted(
@@ -189,7 +215,9 @@ class RoutingTable:
             if best is None or key < best:
                 best = key
         assert best is not None
-        return Route(best[1], best[2])
+        route = Route(best[1], best[2])
+        self._dep_routes[cache_key] = route
+        return route
 
     def all_routes(self) -> Dict[Tuple[str, str], Route]:
         """A copy of the full (src, dst) -> route mapping."""

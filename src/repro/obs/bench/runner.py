@@ -87,10 +87,33 @@ def run_suite(
     )
     for scenario in selected:
         LOGGER.info("bench: running %s", scenario.name)
-        run = run_scenario(scenario, repeat=repeat)
-        LOGGER.info(
-            "bench: %s -> %d metrics, wall %.4fs",
-            scenario.name, len(run.metrics), run.metrics["wall_s"].value,
-        )
+        try:
+            run = run_scenario(scenario, repeat=repeat)
+        except Exception as error:
+            # One broken scenario must not lose the rest of the run:
+            # record it as a failed entry and keep going.  The "failed"
+            # flag shows up in `bench compare` as an added metric, so
+            # the regression gate still notices.
+            LOGGER.warning(
+                "bench: scenario %s failed: %s: %s",
+                scenario.name, type(error).__name__, error,
+            )
+            run = ScenarioRun(
+                name=scenario.name,
+                params={
+                    **dict(scenario.params),
+                    "error": f"{type(error).__name__}: {error}",
+                },
+                metrics={
+                    "failed": Metric(
+                        1.0, unit="flag", direction="exact", kind="counter"
+                    ),
+                },
+            )
+        else:
+            LOGGER.info(
+                "bench: %s -> %d metrics, wall %.4fs",
+                scenario.name, len(run.metrics), run.metrics["wall_s"].value,
+            )
         snapshot.add(run)
     return snapshot

@@ -21,12 +21,15 @@ lazily on first query.
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 from ...analysis.metrics import overhead
 from ...core import schedule_solution1, schedule_solution2
+from ...core.solution1 import Solution1Scheduler
 from ...core.syndex import SyndexScheduler
-from ...graphs.generators import random_bus_problem
+from ...graphs.architecture import fully_connected_architecture
+from ...graphs.generators import layered, random_bus_problem, random_problem
 from ...paper import examples, expected
 from ...sim import FailureScenario, simulate
 from ...sim.montecarlo import estimate_availability
@@ -39,6 +42,9 @@ __all__ = []  # scenarios register themselves; nothing to import
 _WORK_COUNTERS = (
     "pressure.evals",
     "scheduler.steps",
+    "evalcache.hits",
+    "evalcache.misses",
+    "evalcache.invalidated",
     "sim.frames_sent",
     "sim.executions",
 )
@@ -170,6 +176,92 @@ def fig17_availability(
         "trials_per_s": Metric(
             estimate.trials_per_second, unit="1/s",
             direction="higher", kind="timing", noise=0.6,
+        ),
+    }
+
+
+def _layered_p2p_problem(width: int, depth: int, processors: int, seed: int):
+    """The scheduler-scale workload: a wide layered DAG on a p2p network."""
+    algorithm = layered(width, depth, seed=seed)
+    architecture = fully_connected_architecture(
+        [f"P{i + 1}" for i in range(processors)], name=f"p2p{processors}"
+    )
+    return random_problem(algorithm, architecture, failures=1, seed=seed)
+
+
+@scenario(
+    "scheduler.layered.solution1",
+    "Solution 1 on a large layered p2p workload (eval-cache hot path)",
+    suites=("quick", "full"),
+    width=16,
+    depth=8,
+    processors=20,
+    seed=7,
+)
+def layered_solution1(
+    obs, width: int, depth: int, processors: int, seed: int
+) -> Dict[str, Metric]:
+    problem = _layered_p2p_problem(width, depth, processors, seed)
+    result = Solution1Scheduler(problem, seed=11).run()
+    metrics = {
+        "makespan": Metric(result.makespan, unit="time", direction="lower"),
+        "operations": Metric(
+            len(problem.algorithm.operations),
+            unit="ops", direction="exact", kind="counter",
+        ),
+    }
+    metrics.update(_work_metrics(obs))
+    return metrics
+
+
+@scenario(
+    "scheduler.evalcache.speedup",
+    "Eval-cache effectiveness: cached vs uncached wall clock on the "
+    "layered p2p workload",
+    suites=("quick", "full"),
+    width=16,
+    depth=8,
+    processors=20,
+    seed=7,
+)
+def evalcache_speedup(
+    obs, width: int, depth: int, processors: int, seed: int
+) -> Dict[str, Metric]:
+    problem = _layered_p2p_problem(width, depth, processors, seed)
+    problem.routing  # warm the routing table; both runs share it
+
+    started = time.perf_counter()
+    uncached = Solution1Scheduler(
+        problem, seed=11, use_eval_cache=False
+    ).run()
+    uncached_wall = time.perf_counter() - started
+
+    scheduler = Solution1Scheduler(problem, seed=11)
+    started = time.perf_counter()
+    cached = scheduler.run()
+    cached_wall = time.perf_counter() - started
+
+    # The cache's contract, checked on every bench run: bitwise
+    # identical schedules with the cache on or off.
+    if (cached.makespan != uncached.makespan
+            or cached.decisions != uncached.decisions):
+        raise RuntimeError("eval cache changed the schedule")
+    hit_rate = scheduler.eval_cache.hit_rate
+    return {
+        "uncached_wall_s": Metric(
+            uncached_wall, unit="s", direction="lower", kind="timing",
+            noise=0.75,
+        ),
+        "cached_wall_s": Metric(
+            cached_wall, unit="s", direction="lower", kind="timing",
+            noise=0.75,
+        ),
+        "speedup": Metric(
+            uncached_wall / cached_wall, unit="x", direction="higher",
+            kind="timing", noise=0.5,
+        ),
+        "hit_rate": Metric(
+            hit_rate, unit="fraction", direction="higher", noise=0.2,
         ),
     }
 

@@ -107,6 +107,36 @@ class TestRunner:
         with pytest.raises(ValueError):
             run_suite("quick", only=["no-such-scenario"])
 
+    def test_failing_scenario_warns_and_records_failed_entry(self, caplog):
+        """One broken scenario must not lose the rest of the run."""
+        from repro.obs.bench import registry as registry_module
+        from repro.obs.bench.registry import scenario as register
+
+        name = "test.broken.scenario"
+
+        @register(name, "always raises", suites=("quick",))
+        def broken(obs):
+            raise RuntimeError("boom")
+
+        try:
+            with caplog.at_level("WARNING", logger="repro.obs.bench"):
+                snapshot = run_suite(
+                    "quick", only=[name, "fig17.solution1"]
+                )
+        finally:
+            del registry_module._REGISTRY[name]
+
+        runs = snapshot.scenarios
+        assert "schedule.fig17.solution1" in runs  # the rest survived
+        failed = runs[name]
+        assert failed.metrics["failed"].value == 1.0
+        assert "RuntimeError: boom" in failed.params["error"]
+        assert any(
+            "boom" in record.getMessage() for record in caplog.records
+        )
+        # The failed entry still satisfies the snapshot schema.
+        assert validate_snapshot(snapshot.to_dict()) == []
+
 
 class TestSnapshotIO:
     def test_save_load_round_trip(self, tmp_path):

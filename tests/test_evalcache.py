@@ -1,0 +1,217 @@
+"""Tests for the incremental placement-evaluation cache (repro.core.evalcache).
+
+Two families:
+
+* the *identity property* — cached and uncached runs must produce
+  bitwise-identical schedules (same decision log, same makespan) on
+  the paper examples and on a spread of random problems;
+* *invalidation unit tests* — after each commit kind (placement, comm
+  slot, timeout) exactly the entries whose recorded read set overlaps
+  the written resources are dropped.
+"""
+
+import pytest
+
+from repro.core.evalcache import EvaluationCache, TrackedTimelineState
+from repro.core.solution1 import Solution1Scheduler
+from repro.core.solution2 import Solution2Scheduler
+from repro.core.syndex import SyndexScheduler
+from repro.core.timeline import TimelineState
+from repro.graphs.generators import (
+    layered,
+    random_bus_problem,
+    random_p2p_problem,
+)
+from repro.obs import instrumented
+from repro.paper import examples
+
+SCHEDULERS = (SyndexScheduler, Solution1Scheduler, Solution2Scheduler)
+
+
+def _run(scheduler_class, problem, cache: bool, seed=None):
+    kwargs = {"use_eval_cache": cache}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return scheduler_class(problem, **kwargs).run()
+
+
+def _assert_identical(scheduler_class, problem, seed=None):
+    uncached = _run(scheduler_class, problem, cache=False, seed=seed)
+    cached = _run(scheduler_class, problem, cache=True, seed=seed)
+    assert cached.makespan == uncached.makespan
+    assert cached.decisions == uncached.decisions
+
+
+class TestCachedUncachedIdentity:
+    @pytest.mark.parametrize("scheduler_class", SCHEDULERS)
+    def test_paper_first_example(self, scheduler_class):
+        _assert_identical(
+            scheduler_class, examples.first_example_problem(failures=1)
+        )
+
+    @pytest.mark.parametrize("scheduler_class", SCHEDULERS)
+    def test_paper_second_example(self, scheduler_class):
+        _assert_identical(
+            scheduler_class, examples.second_example_problem(failures=1)
+        )
+
+    @pytest.mark.parametrize("case", range(21))
+    def test_random_problems(self, case):
+        """>= 20 random (problem, scheduler, seed) combinations."""
+        scheduler_class = SCHEDULERS[case % len(SCHEDULERS)]
+        make = random_bus_problem if case % 2 else random_p2p_problem
+        problem = make(
+            operations=10 + case,
+            processors=3 + case % 3,
+            failures=1 + case % 2,
+            seed=case,
+        )
+        _assert_identical(scheduler_class, problem, seed=case * 7)
+
+    def test_large_layered_p2p(self):
+        """The bench-scenario shape (scaled down for test runtime)."""
+        from repro.graphs.architecture import fully_connected_architecture
+        from repro.graphs.generators import random_problem
+
+        architecture = fully_connected_architecture(
+            [f"P{i + 1}" for i in range(6)], name="p2p6"
+        )
+        problem = random_problem(
+            layered(6, 5, seed=5), architecture, failures=1, seed=5
+        )
+        _assert_identical(Solution1Scheduler, problem, seed=11)
+
+    def test_nonzero_hit_rate_and_obs_counters(self):
+        problem = random_p2p_problem(operations=18, processors=5, seed=2)
+        with instrumented() as obs:
+            scheduler = Solution1Scheduler(problem, seed=3)
+            scheduler.run()
+        assert scheduler.eval_cache.hit_rate > 0.0
+        assert obs.registry.counter_value("evalcache.hits") == \
+            scheduler.eval_cache.hits
+        assert obs.registry.counter_value("evalcache.misses") == \
+            scheduler.eval_cache.misses
+        assert obs.registry.counter_value("evalcache.invalidated") == \
+            scheduler.eval_cache.invalidated
+        # pressure.evals counts only the evaluations actually computed.
+        assert obs.registry.counter_value("pressure.evals") == \
+            scheduler.eval_cache.misses
+
+    def test_escape_hatch_disables_cache(self):
+        problem = examples.first_example_problem(failures=1)
+        scheduler = Solution1Scheduler(problem, use_eval_cache=False)
+        scheduler.run()
+        assert scheduler.eval_cache is None
+
+
+def _tracked():
+    base = TimelineState(
+        proc_free={"P1": 0.0, "P2": 0.0},
+        link_free={"L12": 0.0},
+    )
+    return TrackedTimelineState.tracking(base, set())
+
+
+def _record_read(state, read_fn):
+    """Run ``read_fn(state)`` with read logging on; return the read set."""
+    reads = set()
+    state.begin_reads(reads)
+    try:
+        read_fn(state)
+    finally:
+        state.end_reads()
+    return reads
+
+
+class TestInvalidation:
+    def test_placement_commit_invalidates_proc_and_replica_readers(self):
+        state = _tracked()
+        cache = EvaluationCache()
+        cache.store("a", "P1", "eval-a", _record_read(
+            state, lambda s: s.proc_free.get("P1", 0.0)))
+        cache.store("b", "P2", "eval-b", _record_read(
+            state, lambda s: s.proc_free.get("P2", 0.0)))
+        cache.store("c", "P1", "eval-c", _record_read(
+            state, lambda s: s.local_copy_end("x", "P1")))
+
+        # A placement commit: replica of x lands on P1.
+        state.record_replica("x", "P1", 3.0)
+        dropped = cache.invalidate(state.drain_writes())
+
+        assert dropped == 2  # "a" read P1's frontier, "c" read x@P1
+        assert cache.lookup("b", "P2") == "eval-b"
+        assert cache.lookup("a", "P1") is None
+        assert cache.lookup("c", "P1") is None
+
+    def test_comm_slot_commit_invalidates_link_and_arrival_readers(self):
+        state = _tracked()
+        cache = EvaluationCache()
+        dep = ("x", "y")
+        cache.store("a", "P2", "eval-a", _record_read(
+            state, lambda s: s.link_free.get("L12", 0.0)))
+        cache.store("b", "P2", "eval-b", _record_read(
+            state, lambda s: s.arrival(dep, "P2")))
+        cache.store("c", "P1", "eval-c", _record_read(
+            state, lambda s: s.proc_free.get("P1", 0.0)))
+
+        # A comm-slot commit: the frame occupies L12 and delivers on P2.
+        state.link_free["L12"] = 4.0
+        state.record_arrival(dep, "P2", 4.0)
+        dropped = cache.invalidate(state.drain_writes())
+
+        assert dropped == 2  # the link reader and the arrival reader
+        assert cache.lookup("c", "P1") == "eval-c"
+        assert cache.lookup("a", "P2") is None
+        assert cache.lookup("b", "P2") is None
+
+    def test_timeout_computation_invalidates_nothing(self):
+        """Finalize (timeout-table) never touches the timeline state."""
+        problem = examples.first_example_problem(failures=1)
+        scheduler = Solution1Scheduler(problem)
+        scheduler.run()  # includes finalize -> compute_timeout_table
+        # Every write was drained (and invalidated) inside the step
+        # loop; finalize added none.
+        assert scheduler.state.drain_writes() == set()
+
+    def test_missing_key_reads_are_dependencies(self):
+        """Reading an *absent* replica logs a read: its later creation
+        must invalidate the entry."""
+        state = _tracked()
+        cache = EvaluationCache()
+        reads = _record_read(state, lambda s: s.local_copy_end("x", "P2"))
+        assert ("rep", ("x", "P2")) in reads
+        cache.store("a", "P2", "eval-a", reads)
+        state.record_replica("x", "P2", 1.0)
+        cache.invalidate(state.drain_writes())
+        assert cache.lookup("a", "P2") is None
+
+    def test_ghost_reads_propagate_writes_stay_local(self):
+        state = _tracked()
+        reads = set()
+        state.begin_reads(reads)
+        try:
+            ghost = state.clone()
+            ghost.proc_free.get("P1", 0.0)
+            ghost.record_replica("x", "P1", 2.0)  # tentative only
+        finally:
+            state.end_reads()
+        assert ("proc", "P1") in reads
+        assert state.local_copy_end("x", "P1") is None  # master untouched
+        assert state.drain_writes() == set()  # ghost writes not commits
+
+    def test_drop_op_retires_all_entries_of_operation(self):
+        cache = EvaluationCache()
+        cache.store("a", "P1", "e1", {("proc", "P1")})
+        cache.store("a", "P2", "e2", {("proc", "P2")})
+        cache.store("b", "P1", "e3", {("proc", "P1")})
+        cache.drop_op("a")
+        assert cache.entries_for("a") == []
+        assert cache.lookup("b", "P1") == "e3"
+
+    def test_hit_miss_counters(self):
+        cache = EvaluationCache()
+        assert cache.lookup("a", "P1") is None
+        cache.store("a", "P1", "e1", set())
+        assert cache.lookup("a", "P1") == "e1"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
