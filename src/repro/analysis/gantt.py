@@ -97,13 +97,25 @@ def render_schedule(
     return "\n".join(lines)
 
 
-def render_trace(trace: IterationTrace, width: int = 72) -> str:
+def render_trace(
+    trace: IterationTrace,
+    width: int = 72,
+    annotations: Optional[Sequence[str]] = None,
+) -> str:
     """Render a simulated iteration as an ASCII Gantt chart.
 
     Take-over frames are tagged ``*``, frames lost to a crash ``!``,
-    aborted executions ``!``.
+    aborted executions ``!``.  Extra ``annotations`` lines (e.g. a
+    campaign failure diagnosis) are appended below the detections so a
+    failing trace and its explanation travel as one artifact.
     """
-    makespan = max(trace.makespan, 1e-9)
+    # The horizon must cover *every* drawn record — aborted executions
+    # and lost frames included (trace.makespan counts only completed
+    # activity, which can be 0 for an early crash: scaling by it would
+    # paint the aborted boxes onto an absurdly long canvas).
+    ends = [r.end for r in trace.executions]
+    ends.extend(f.end for f in trace.frames)
+    makespan = max([trace.makespan, 1e-9, *ends])
     scale = _scale(makespan, width)
     procs = sorted({r.processor for r in trace.executions})
     links = sorted({f.link for f in trace.frames})
@@ -135,6 +147,8 @@ def render_trace(trace: IterationTrace, width: int = 72) -> str:
 
     for detection in trace.detections:
         lines.append(f"  detection: {detection}")
+    for annotation in annotations or ():
+        lines.append(f"  note: {annotation}")
     lines.append(_axis(makespan, scale, indent))
     return "\n".join(lines)
 

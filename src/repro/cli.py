@@ -21,6 +21,10 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
     repro-scheduler bench compare BASELINE [CURRENT] [--no-timings]
     repro-scheduler bench report [SNAPSHOT ...] [--out bench_dashboard.html]
     repro-scheduler bench list
+    repro-scheduler campaign run [PROBLEM] [--paper fig17] [--suite smoke] \
+        [--repro FILE] [--jobs N] [--out CAMPAIGN.json] [--html page.html] \
+        [--artifacts DIR] [--max-scenarios N]
+    repro-scheduler campaign report CAMPAIGN.json [--out page.html]
     repro-scheduler advise PROBLEM
     repro-scheduler paper [--which first|second|all] [--gantt]
     repro-scheduler figures OUTDIR
@@ -46,6 +50,13 @@ under instrumentation and writes a ``BENCH_<suite>.json`` snapshot;
 ``bench compare`` diffs two snapshots and exits non-zero on regression
 verdicts (the CI gate, like ``lint``); ``bench report`` renders a
 snapshot series as an HTML/SVG dashboard; see ``docs/benchmarks.md``.
+
+Fault-injection campaigns: ``campaign run`` enumerates the crash
+scenario space of a schedule (critical instants, ≤K subsets, random
+strata), executes every equivalence class, diagnoses failures down to
+the undelivered dependency, and exits non-zero on failing verdicts;
+``campaign report`` re-renders a saved ``CAMPAIGN.json``; see
+``docs/campaigns.md``.
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import re
 import sys
 from contextlib import contextmanager
 from pathlib import Path
@@ -671,6 +683,202 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_targets(args: argparse.Namespace) -> List[tuple]:
+    """``(label, problem, method, problem_spec)`` rows for a campaign run.
+
+    ``--suite smoke`` is the CI entry point: both paper examples under
+    their architecture-appropriate method.  Otherwise one target from
+    the positional file or ``--paper`` alias.
+    """
+    if getattr(args, "suite", ""):
+        if args.suite != "smoke":
+            raise SystemExit(
+                f"error: unknown campaign suite {args.suite!r} "
+                "(available: smoke)"
+            )
+        return [
+            (
+                "paper:first",
+                examples.first_example_problem(failures=1),
+                "solution1",
+                {"kind": "paper-first", "failures": 1},
+            ),
+            (
+                "paper:second",
+                examples.second_example_problem(failures=1),
+                "solution2",
+                {"kind": "paper-second", "failures": 1},
+            ),
+        ]
+    problem = _resolve_problem(args)
+    method = args.method if args.method != "auto" else _auto_method(problem)
+    if getattr(args, "paper", ""):
+        label = f"paper:{args.paper}"
+        kind = (
+            "paper-first"
+            if args.paper in ("fig17", "first")
+            else "paper-second"
+        )
+        spec = {"kind": kind, "failures": 1}
+    else:
+        label = args.problem
+        spec = {"kind": "file", "path": args.problem}
+    return [(label, problem, method, spec)]
+
+
+def _write_campaign_artifacts(directory: str, results) -> int:
+    """Reproducer + annotated Gantt per failing scenario; file count."""
+    from .obs.campaign import save_reproducer
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for result in results:
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", result.label)
+        for index, outcome in enumerate(result.failed):
+            stem = f"{slug}_fail{index}"
+            if outcome.reproducer is not None:
+                save_reproducer(outcome.reproducer, target / f"{stem}.json")
+                written += 1
+            if outcome.diagnosis is not None:
+                gantt = outcome.diagnosis.get("gantt", "")
+                text = outcome.diagnosis.get("text", "")
+                (target / f"{stem}_gantt.txt").write_text(
+                    gantt + "\n\n" + text + "\n"
+                )
+                written += 1
+    return written
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .obs.campaign import (
+        CampaignScenario,
+        class_key,
+        enumerate_space,
+        execute_scenario,
+        load_reproducer,
+        problem_from_spec,
+        run_campaign,
+        save_campaigns,
+        scenario_from_dict,
+    )
+    from .obs.campaign.model import CampaignResult
+    from .obs.campaign.report import render_html_page
+    from .obs.campaign.report import render_text as render_campaign_text
+    from .core.timeline import event_boundaries
+    from .sim.values import reference_outputs
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    results = []
+    if args.repro:
+        # Replay one committed reproducer: schedule, execute, diagnose.
+        try:
+            reproducer = load_reproducer(args.repro)
+            problem = problem_from_spec(reproducer["problem"])
+            scenario = scenario_from_dict(reproducer["scenario"])
+        except (OSError, KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        method = reproducer["method"]
+        result_schedule = _run_method(problem, method, 0).schedule
+        boundaries = event_boundaries(result_schedule)
+        outcome = execute_scenario(
+            result_schedule,
+            CampaignScenario(
+                scenario=scenario,
+                key=class_key(scenario, boundaries),
+                origin="reproducer",
+            ),
+            reference_outputs(problem.algorithm),
+            problem_spec=reproducer["problem"],
+            method=method,
+            minimize=not args.no_minimize,
+        )
+        result = CampaignResult(
+            label=args.repro,
+            method=method,
+            failures=problem.failures,
+            enumerated=[outcome.key],
+            outcomes=[outcome],
+        )
+        expect = reproducer.get("expect", "fail")
+        print(
+            f"reproducer {args.repro}: scenario {outcome.name} -> "
+            f"{outcome.status} (expected {expect})"
+        )
+        if outcome.diagnosis is not None:
+            print()
+            print(outcome.diagnosis["text"])
+        results = [result]
+    else:
+        try:
+            targets = _campaign_targets(args)
+        except SystemExit as error:
+            print(error, file=sys.stderr)
+            return 2
+        for label, problem, method, spec in targets:
+            schedule = _run_method_args(problem, method, args).schedule
+            space = enumerate_space(
+                schedule,
+                failures=problem.failures,
+                seed=args.seed,
+                subset_samples=args.subset_samples,
+                random_strata=args.random_strata,
+            )
+            if args.max_scenarios and space.truncate(args.max_scenarios):
+                # The enumerated universe stays intact so coverage
+                # honestly reports how much was left unexercised.
+                print(
+                    f"note: {label}: capped at {args.max_scenarios} "
+                    "scenarios; class coverage will be partial"
+                )
+            result = run_campaign(
+                schedule,
+                space,
+                label=label,
+                method=method,
+                failures=problem.failures,
+                jobs=args.jobs,
+                problem_spec=spec,
+                minimize=not args.no_minimize,
+            )
+            results.append(result)
+        print(render_campaign_text(results), end="")
+
+    if args.out:
+        save_campaigns(results, args.out)
+        print(f"wrote campaign result to {args.out}")
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html_page(results))
+        print(f"wrote campaign HTML report to {args.html}")
+    if args.artifacts:
+        written = _write_campaign_artifacts(args.artifacts, results)
+        print(f"wrote {written} failure artifact(s) to {args.artifacts}/")
+    return 0 if all(result.all_passed for result in results) else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .obs.campaign import load_campaigns
+    from .obs.campaign.report import render_html_page
+    from .obs.campaign.report import render_text as render_campaign_text
+
+    try:
+        results = load_campaigns(args.campaign)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_campaign_text(results), end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_html_page(results))
+        print(f"wrote campaign HTML report to {args.out}")
+    return 0 if all(result.all_passed for result in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-scheduler",
@@ -991,6 +1199,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", default="", help="restrict to one suite tag"
     )
     pb_list.set_defaults(func=_cmd_bench_list)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="fault-injection campaigns: enumerate the crash-scenario "
+        "space, execute every equivalence class, diagnose failures, "
+        "report coverage",
+    )
+    campaign_sub = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    pc_run = campaign_sub.add_parser(
+        "run",
+        help="enumerate and execute a schedule's crash-scenario space; "
+        "exit 1 on failing verdicts (the CI gate)",
+    )
+    add_paper_target(pc_run)
+    pc_run.add_argument(
+        "--suite", default="", metavar="NAME",
+        help="run a predefined target suite instead of one problem "
+        "(available: smoke = both paper examples)",
+    )
+    pc_run.add_argument(
+        "--repro", default="", metavar="FILE",
+        help="replay one committed reproducer JSON instead of "
+        "enumerating (prints its diagnosis; exit 1 when it fails)",
+    )
+    pc_run.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the stratified and random enumerators",
+    )
+    pc_run.add_argument(
+        "--subset-samples", type=int, default=3, metavar="N",
+        help="stratified crash-time samples per ≤K processor subset",
+    )
+    pc_run.add_argument(
+        "--random-strata", type=int, default=8, metavar="N",
+        help="seeded FailureScenario.random draws appended to the space",
+    )
+    pc_run.add_argument(
+        "--max-scenarios", type=int, default=0, metavar="N",
+        help="cap the executed scenarios (coverage reports the gap)",
+    )
+    pc_run.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip greedy crash-set minimization of failing scenarios",
+    )
+    pc_run.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the campaign result JSON (repro.obs.campaign/1)",
+    )
+    pc_run.add_argument(
+        "--html", default="", metavar="FILE",
+        help="write the campaign report as a standalone HTML page",
+    )
+    pc_run.add_argument(
+        "--artifacts", default="", metavar="DIR",
+        help="write per-failure reproducers and annotated Gantt charts",
+    )
+    pc_run.set_defaults(func=_cmd_campaign_run)
+
+    pc_report = campaign_sub.add_parser(
+        "report", help="re-render a saved campaign result"
+    )
+    pc_report.add_argument("campaign", help="CAMPAIGN.json file")
+    pc_report.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the report as a standalone HTML page",
+    )
+    pc_report.set_defaults(func=_cmd_campaign_report)
 
     return parser
 

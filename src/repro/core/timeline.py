@@ -23,11 +23,40 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.problem import Problem
-from .schedule import CommSlot
+from .schedule import CommSlot, Schedule
 
-__all__ = ["TimelineState", "CommPlanner", "split_bus_groups"]
+__all__ = [
+    "TimelineState",
+    "CommPlanner",
+    "split_bus_groups",
+    "event_boundaries",
+]
 
 DependencyKey = Tuple[str, str]
+
+
+def event_boundaries(schedule: Schedule) -> List[float]:
+    """Every date at which the schedule's static plan changes state.
+
+    The sorted, de-duplicated union of 0, every replica start/end,
+    every comm-slot start/end, and every Solution-1 timeout deadline.
+    Between two consecutive boundaries nothing statically scheduled
+    begins, ends, or expires — so two crashes of the same processor
+    inside one such window interrupt the very same set of in-flight
+    activities.  The fault-injection campaign
+    (:mod:`repro.obs.campaign`) builds its crash-time equivalence
+    classes and critical instants on these windows.
+    """
+    dates = {0.0}
+    for replica in schedule.all_replicas():
+        dates.add(replica.start)
+        dates.add(replica.end)
+    for slot in schedule.comms:
+        dates.add(slot.start)
+        dates.add(slot.end)
+    for entry in schedule.timeouts:
+        dates.add(entry.deadline)
+    return sorted(dates)
 
 
 def split_bus_groups(

@@ -302,3 +302,82 @@ def check_overhead(schedule: Schedule) -> Iterator[Finding]:
             f"try --best-of seed exploration or another heuristic",
             "",
         )
+
+
+@rule(
+    "FT216",
+    "delivery-gap",
+    Severity.WARNING,
+    Scope.SCHEDULE,
+    "heuristic: a <=K crash subset cuts every scheduled sender of a "
+    "dependency and no surviving replica has a takeover ladder for it",
+)
+def check_delivery_gap(schedule: Schedule) -> Iterator[Finding]:
+    """Static shadow of the runtime delivery gap.
+
+    For each inter-processor dependency, consider every crash subset
+    of up to K of its source-replica hosts.  If a subset removes every
+    processor that *statically* sends the data, some surviving
+    consumer replica still needs it, and no surviving source-replica
+    host has a timeout-ladder entry for the dependency (i.e. no
+    takeover communication is scheduled from a survivor), the data has
+    no scheduled way to reach the consumer.  Heuristic: it inspects
+    the static plan only, so dynamic stand-down races (a ladder entry
+    that exists but is cancelled by a doomed frame, the ROADMAP
+    delivery gap) are out of its reach — campaigns
+    (:mod:`repro.obs.campaign`) catch those.
+    """
+    import itertools
+
+    if schedule.semantics is not ScheduleSemantics.SOLUTION1:
+        return
+    failures = schedule.problem.failures
+    if failures <= 0:
+        return
+    algorithm = schedule.problem.algorithm
+    for op in schedule.operations:
+        for pred in algorithm.predecessors(op):
+            dep = (pred, op)
+            static_senders = {
+                slot.sender for slot in schedule.comms_for_dependency(dep)
+            }
+            if not static_senders:
+                continue  # every consumer holds a local copy
+            source_hosts = set(schedule.processors_of(pred))
+            laddered = {
+                entry.watcher
+                for entry in schedule.timeouts
+                if entry.dependency == dep
+            }
+            found = False
+            for size in range(1, min(failures, len(source_hosts)) + 1):
+                for subset in itertools.combinations(
+                    sorted(source_hosts), size
+                ):
+                    crashed = set(subset)
+                    if not static_senders <= crashed:
+                        continue  # a scheduled sender survives
+                    if any(w not in crashed for w in laddered):
+                        continue  # a survivor watches and can take over
+                    starving = [
+                        r
+                        for r in schedule.replicas(op)
+                        if r.processor not in crashed
+                        and schedule.replica_on(pred, r.processor) is None
+                    ]
+                    if not starving:
+                        continue
+                    victims = ", ".join(
+                        f"{r.op}@{r.processor}" for r in starving
+                    )
+                    yield (
+                        f"crashing {{{', '.join(subset)}}} removes every "
+                        f"scheduled sender of ({pred}, {op}) and no "
+                        f"surviving replica of {pred!r} has a takeover "
+                        f"ladder for it — {victims} would starve",
+                        f"{pred}->{op}",
+                    )
+                    found = True
+                    break
+                if found:
+                    break

@@ -18,9 +18,12 @@ disabled (the default).  See ``docs/observability.md``.
 :mod:`repro.obs.bench` builds on all three: it runs registered
 benchmark scenarios under instrumentation into ``BENCH_<suite>.json``
 snapshots, gates on regressions, and renders trajectory dashboards
-(``repro bench``, ``docs/benchmarks.md``).  It is *not* re-exported
-here — it imports :mod:`repro.core`, and ``repro.obs`` proper must
-stay a leaf the schedulers can import.
+(``repro bench``, ``docs/benchmarks.md``).  :mod:`repro.obs.campaign`
+is its runtime-side sibling: systematic fault-injection campaigns
+with coverage accounting and trace-level failure diagnosis (``repro
+campaign``, ``docs/campaigns.md``).  Neither is re-exported here —
+they import :mod:`repro.core`, and ``repro.obs`` proper must stay a
+leaf the schedulers can import.
 """
 
 from .decisions import (

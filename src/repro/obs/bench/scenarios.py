@@ -267,6 +267,72 @@ def evalcache_speedup(
 
 
 @scenario(
+    "campaign.paper_examples",
+    "Fault-injection campaign over both paper examples: class coverage, "
+    "verdicts, worst takeover latency",
+    suites=("quick", "full"),
+    failures=1,
+    seed=0,
+)
+def campaign_paper_examples(obs, failures: int, seed: int) -> Dict[str, Metric]:
+    # Import here: repro.obs.bench must stay importable without pulling
+    # the campaign subsystem (same leaf discipline as repro.obs).
+    from ..campaign import enumerate_space, run_campaign
+
+    targets = (
+        ("paper:first", examples.first_example_problem(failures=failures),
+         schedule_solution1),
+        ("paper:second", examples.second_example_problem(failures=failures),
+         schedule_solution2),
+    )
+    started = time.perf_counter()
+    results = []
+    for label, problem, method in targets:
+        schedule = method(problem).schedule
+        space = enumerate_space(schedule, failures=problem.failures, seed=seed)
+        results.append(
+            run_campaign(
+                schedule, space, label=label, method=method.__name__,
+                failures=problem.failures,
+            )
+        )
+    wall = time.perf_counter() - started
+    if not all(result.all_passed for result in results):
+        raise RuntimeError("paper-example campaign has failing verdicts")
+    return {
+        # All deterministic: the enumerated space and every verdict are
+        # functions of (schedule, seed) alone.
+        "scenarios": Metric(
+            sum(len(r.outcomes) for r in results),
+            unit="scenarios", direction="exact", kind="counter",
+        ),
+        "classes": Metric(
+            sum(len(r.enumerated) for r in results),
+            unit="classes", direction="exact", kind="counter",
+        ),
+        "deduplicated": Metric(
+            sum(r.deduplicated for r in results),
+            unit="scenarios", direction="exact", kind="counter",
+        ),
+        "coverage": Metric(
+            min(r.coverage for r in results), unit="fraction",
+            direction="exact",
+        ),
+        "passed": Metric(
+            sum(len(r.passed) for r in results),
+            unit="scenarios", direction="exact", kind="counter",
+        ),
+        "worst_takeover_latency": Metric(
+            max(r.worst_takeover_latency for r in results),
+            unit="time", direction="lower",
+        ),
+        "campaign_wall_s": Metric(
+            wall, unit="s", direction="lower", kind="timing", noise=0.75,
+        ),
+    }
+
+
+@scenario(
     "schedule.random24.solution1",
     "Solution 1 on a 24-operation random bus workload (scalability probe)",
     suites=("full",),

@@ -1,0 +1,163 @@
+"""Campaign reports: coverage, verdict matrix, latency — text and HTML.
+
+One campaign result renders as three tables built on
+:class:`repro.analysis.report.Table` (so terminal and HTML output can
+never disagree on a number):
+
+* **coverage** — classes enumerated vs exercised, scenarios executed,
+  scenarios deduplicated away, worst observed takeover latency;
+* **verdict matrix** — pass/fail counts per enumeration origin
+  (baseline / critical-instant / subset-strata / random);
+* **failures** — one row per failing scenario with its reasons, each
+  followed by its rendered diagnosis in the text report.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Sequence
+
+from ...analysis.report import Table
+from .model import CampaignResult
+
+__all__ = [
+    "coverage_table",
+    "verdict_matrix",
+    "failure_table",
+    "render_text",
+    "render_html_page",
+]
+
+
+def coverage_table(result: CampaignResult) -> Table:
+    """Coverage accounting for one campaign target."""
+    table = Table(
+        headers=("quantity", "value"),
+        title=f"campaign coverage — {result.label} ({result.method})",
+    )
+    table.add("fault budget K", result.failures)
+    table.add("classes enumerated", len(result.enumerated))
+    table.add("classes exercised", len(result.executed_classes))
+    table.add("class coverage", f"{100 * result.coverage:.1f}%")
+    table.add("scenarios executed", len(result.outcomes))
+    table.add("scenarios deduplicated", result.deduplicated)
+    table.add("verdicts pass", len(result.passed))
+    table.add("verdicts fail", len(result.failed))
+    table.add("worst takeover latency", result.worst_takeover_latency)
+    return table
+
+
+def verdict_matrix(result: CampaignResult) -> Table:
+    """Pass/fail counts per enumeration origin."""
+    table = Table(
+        headers=("origin", "scenarios", "pass", "fail"),
+        title="verdicts by enumeration origin",
+    )
+    origins = sorted({o.origin for o in result.outcomes})
+    for origin in origins:
+        rows = [o for o in result.outcomes if o.origin == origin]
+        table.add(
+            origin,
+            len(rows),
+            sum(1 for o in rows if o.passed),
+            sum(1 for o in rows if not o.passed),
+        )
+    return table
+
+
+def failure_table(result: CampaignResult) -> Table:
+    """One row per failing scenario with its verdict reasons."""
+    table = Table(
+        headers=("scenario", "class", "origin", "reasons"),
+        title="failing scenarios",
+    )
+    for outcome in result.failed:
+        table.add(
+            outcome.name,
+            outcome.key,
+            outcome.origin,
+            ", ".join(outcome.reasons),
+        )
+    return table
+
+
+def render_text(results: Sequence[CampaignResult]) -> str:
+    """The full campaign report as plain text."""
+    blocks: List[str] = []
+    for result in results:
+        blocks.append(coverage_table(result).render())
+        blocks.append("")
+        blocks.append(verdict_matrix(result).render())
+        if result.failed:
+            blocks.append("")
+            blocks.append(failure_table(result).render())
+            for outcome in result.failed:
+                if outcome.diagnosis:
+                    blocks.append("")
+                    blocks.append(f"diagnosis — {outcome.name}:")
+                    blocks.append(outcome.diagnosis["text"])
+        if result.unexercised_classes:
+            blocks.append("")
+            blocks.append(
+                "unexercised classes: "
+                + ", ".join(result.unexercised_classes)
+            )
+        blocks.append("")
+    return "\n".join(blocks).rstrip() + "\n"
+
+
+_PAGE_STYLE = """
+body { font-family: sans-serif; margin: 2em; }
+table.report { border-collapse: collapse; margin: 1em 0; }
+table.report caption { text-align: left; font-weight: bold; padding: .3em 0; }
+table.report th, table.report td {
+  border: 1px solid #999; padding: .25em .6em; text-align: left;
+}
+pre.diagnosis { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.pass { color: #070; } .fail { color: #a00; font-weight: bold; }
+"""
+
+
+def render_html_page(results: Sequence[CampaignResult]) -> str:
+    """The full campaign report as a standalone HTML page."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>fault-injection campaign report</title>",
+        f"<style>{_PAGE_STYLE}</style>",
+        "</head><body>",
+        "<h1>fault-injection campaign report</h1>",
+    ]
+    for result in results:
+        verdict = (
+            "<span class='pass'>all pass</span>"
+            if result.all_passed
+            else f"<span class='fail'>{len(result.failed)} failing</span>"
+        )
+        parts.append(
+            f"<h2>{_html.escape(result.label)} "
+            f"({_html.escape(result.method)}) — {verdict}</h2>"
+        )
+        parts.append(coverage_table(result).render_html())
+        parts.append(verdict_matrix(result).render_html())
+        if result.failed:
+            parts.append(failure_table(result).render_html())
+            for outcome in result.failed:
+                if outcome.diagnosis:
+                    parts.append(
+                        f"<h3>diagnosis — {_html.escape(outcome.name)}</h3>"
+                    )
+                    parts.append(
+                        "<pre class='diagnosis'>"
+                        + _html.escape(outcome.diagnosis["text"])
+                        + "</pre>"
+                    )
+                    gantt = outcome.diagnosis.get("gantt")
+                    if gantt:
+                        parts.append(
+                            "<pre class='diagnosis'>"
+                            + _html.escape(gantt)
+                            + "</pre>"
+                        )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,196 @@
+"""Enumerating the crash-scenario space of a schedule.
+
+Three enumerators feed one deduplicated scenario list:
+
+* **critical instants** — every single crash placed just before and
+  just after every :func:`~repro.core.timeline.event_boundaries` date
+  (± ε), plus the dead-from-start crash at t=0.  Crashes inside one
+  event window interrupt the same set of in-flight activities, so one
+  probe per (processor, window) pair exhausts the single-crash space
+  up to equivalence;
+* **≤K subsets** — every processor subset of size 2..K with
+  latin-hypercube-style stratified crash-time sampling: each sample
+  draws, per processor, a *different* event window from a seeded
+  per-subset permutation, then a uniform date inside it.  Exhaustive
+  in the crashed-set dimension, stratified in the time dimension;
+* **random strata** — seeded :meth:`FailureScenario.random` draws, the
+  same generator Hypothesis-adjacent stress tests use, so campaign
+  coverage and the property suite sample the same distribution.
+
+Everything is deterministic per seed.  Scenarios landing in an
+already-enumerated equivalence class are dropped (first wins) and
+counted, so the executor never re-tests a window it has exercised.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ...core.schedule import Schedule
+from ...core.timeline import event_boundaries
+from ...sim.faults import Crash, FailureScenario
+from .model import CampaignScenario, class_key, render_class_key
+
+__all__ = [
+    "EPSILON",
+    "CampaignSpace",
+    "enumerate_space",
+]
+
+#: Offset of the "just before" / "just after" critical-instant probes.
+EPSILON = 1e-6
+
+
+@dataclass
+class CampaignSpace:
+    """The enumerated (and deduplicated) scenario space of one schedule."""
+
+    boundaries: List[float]
+    scenarios: List[CampaignScenario] = field(default_factory=list)
+    #: Scenarios dropped because their equivalence class was already
+    #: enumerated.
+    deduplicated: int = 0
+    #: Classes enumerated but dropped by :meth:`truncate` — they stay
+    #: in the coverage denominator as honestly-unexercised classes.
+    truncated: List[CampaignScenario] = field(default_factory=list)
+
+    @property
+    def enumerated_keys(self) -> List[str]:
+        """Rendered class keys of every enumerated class, sorted.
+
+        Includes truncated classes: capping the execution list must
+        not shrink the coverage denominator.
+        """
+        return sorted(
+            render_class_key(s.key)
+            for s in self.scenarios + self.truncated
+        )
+
+    def truncate(self, limit: int) -> int:
+        """Cap the executable scenario list at ``limit``.
+
+        The dropped scenarios move to :attr:`truncated`, so coverage
+        reports them as enumerated-but-unexercised.  Returns how many
+        were dropped.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        dropped = self.scenarios[limit:]
+        if dropped:
+            self.scenarios = self.scenarios[:limit]
+            self.truncated.extend(dropped)
+        return len(dropped)
+
+
+def _windows(boundaries: Sequence[float]) -> List[Tuple[float, float]]:
+    """Consecutive boundary pairs: the event windows of the schedule."""
+    return [
+        (lo, hi)
+        for lo, hi in zip(boundaries, boundaries[1:])
+        if hi > lo
+    ]
+
+
+def _subset_rng(seed: int, subset: Sequence[str]) -> random.Random:
+    """A deterministic RNG per (seed, subset) independent of dict order."""
+    tag = zlib.crc32("+".join(sorted(subset)).encode())
+    return random.Random((seed << 32) ^ tag)
+
+
+def enumerate_space(
+    schedule: Schedule,
+    failures: int,
+    seed: int = 0,
+    subset_samples: int = 3,
+    random_strata: int = 8,
+) -> CampaignSpace:
+    """Enumerate the campaign scenario space of ``schedule``.
+
+    ``failures`` is K, the number of crashes the schedule claims to
+    tolerate; ``subset_samples`` stratified draws are taken per ≤K
+    subset and ``random_strata`` seeded random scenarios are appended.
+    """
+    boundaries = event_boundaries(schedule)
+    makespan = schedule.makespan
+    processors = sorted(schedule.problem.architecture.processor_names)
+    space = CampaignSpace(boundaries=boundaries)
+    seen = set()
+
+    def keep(scenario: FailureScenario, origin: str) -> None:
+        key = class_key(scenario, boundaries)
+        if key in seen:
+            space.deduplicated += 1
+            return
+        seen.add(key)
+        space.scenarios.append(
+            CampaignScenario(scenario=scenario, key=key, origin=origin)
+        )
+
+    # The failure-free baseline anchors the oracle: if it fails, the
+    # schedule (not the fault tolerance) is broken.
+    keep(FailureScenario.none(), "baseline")
+    if failures <= 0:
+        return space
+
+    # -- single crashes at critical instants --------------------------
+    for proc in processors:
+        keep(
+            FailureScenario(
+                crashes=(Crash(proc, 0.0),),
+                name=f"dead-from-start({proc})",
+            ),
+            "critical-instant",
+        )
+        for boundary in boundaries:
+            for instant in (boundary - EPSILON, boundary + EPSILON):
+                if 0.0 <= instant < makespan:
+                    keep(
+                        FailureScenario.crash(proc, round(instant, 9)),
+                        "critical-instant",
+                    )
+
+    # -- ≤K subsets with stratified crash times -----------------------
+    windows = _windows(boundaries)
+    for size in range(2, min(failures, len(processors)) + 1):
+        for subset in itertools.combinations(processors, size):
+            rng = _subset_rng(seed, subset)
+            # One shuffled window permutation per processor: sample i
+            # strides through each permutation, so successive samples
+            # probe different window combinations (latin-hypercube
+            # style rather than independent uniform draws).
+            perms = {
+                proc: rng.sample(range(len(windows)), len(windows))
+                for proc in subset
+            }
+            for sample in range(subset_samples):
+                crashes = []
+                for proc in subset:
+                    perm = perms[proc]
+                    lo, hi = windows[perm[sample % len(perm)]]
+                    crashes.append(
+                        Crash(proc, round(rng.uniform(lo, hi), 9))
+                    )
+                keep(
+                    FailureScenario(
+                        crashes=tuple(crashes),
+                        name="subset("
+                        + ",".join(
+                            f"{c.processor}@{c.at:.4g}" for c in crashes
+                        )
+                        + ")",
+                    ),
+                    "subset-strata",
+                )
+
+    # -- seeded random strata -----------------------------------------
+    for stratum in range(random_strata):
+        scenario = FailureScenario.random(
+            processors, failures, seed=seed + stratum, horizon=makespan
+        )
+        keep(scenario, "random")
+
+    return space

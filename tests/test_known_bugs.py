@@ -1,0 +1,105 @@
+"""Pinned regression tests for known, not-yet-fixed bugs.
+
+Each test here documents a bug listed under "Open items" in
+ROADMAP.md.  They are marked ``xfail(strict=True)``: the suite stays
+green while the bug exists, and the fix PR *must* flip the marker —
+an unexpected pass fails the build, so the pin can never go stale.
+
+The campaign reproducer fixture
+(``tests/fixtures/roadmap_delivery_gap.json``) is the executable form
+of the same bug: ``repro campaign run --repro`` replays it and prints
+the full trace-level diagnosis.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import schedule_solution1
+from repro.graphs.generators import random_bus_problem
+from repro.obs.campaign import (
+    CampaignScenario,
+    class_key,
+    execute_scenario,
+    load_reproducer,
+    problem_from_spec,
+    scenario_from_dict,
+)
+from repro.core.timeline import event_boundaries
+from repro.sim import FailureScenario, simulate
+from repro.sim.values import reference_outputs
+
+FIXTURE = Path(__file__).parent / "fixtures" / "roadmap_delivery_gap.json"
+
+
+def _bug_problem():
+    return random_bus_problem(operations=10, processors=4, failures=2, seed=0)
+
+
+def _bug_scenario(problem):
+    return FailureScenario.random(
+        problem.architecture.processor_names,
+        problem.failures,
+        seed=38,
+    )
+
+
+class TestSolution1DeliveryGap:
+    """ROADMAP known bug: Solution-1 take-over delivery gap under
+    double failures (found by Hypothesis during PR 4)."""
+
+    @pytest.mark.xfail(
+        strict=True,
+        reason="ROADMAP known bug: Solution-1 take-over delivery gap — "
+        "L2N0@P1 survives P4@2.031 + P2@15.09 but its inputs are never "
+        "delivered; the fix PR must flip this marker (and the fixture's "
+        "'expect' field) to pass.",
+    )
+    def test_double_crash_iteration_completes(self):
+        problem = _bug_problem()
+        schedule = schedule_solution1(problem).schedule
+        scenario = _bug_scenario(problem)
+        trace = simulate(schedule, scenario)
+        assert trace.completed
+
+    def test_campaign_reproducer_pins_the_diagnosis(self):
+        # The committed reproducer replays the same bug through the
+        # campaign executor and must keep naming the same root cause.
+        repro = load_reproducer(FIXTURE)
+        assert repro["expect"] == "fail"
+        problem = problem_from_spec(repro["problem"])
+        schedule = schedule_solution1(problem).schedule
+        scenario = scenario_from_dict(repro["scenario"])
+        boundaries = event_boundaries(schedule)
+        campaign_scenario = CampaignScenario(
+            scenario=scenario,
+            key=class_key(scenario, boundaries),
+            origin="reproducer",
+        )
+        outcome = execute_scenario(
+            schedule,
+            campaign_scenario,
+            reference=reference_outputs(problem.algorithm),
+            problem_spec=repro["problem"],
+            method=repro["method"],
+        )
+        assert not outcome.passed
+        assert "incomplete" in outcome.reasons
+        text = outcome.diagnosis["text"]
+        assert "L2N0@P1" in text
+        assert "L1N2 -> L2N0" in text
+        assert "never delivered" in text
+        assert "SURVIVOR holding the data" in text
+        assert "stood down" in text
+
+    def test_reproducer_matches_the_roadmap_scenario(self):
+        # Guard the fixture itself: it must encode exactly the crash
+        # pair the ROADMAP entry describes.
+        repro = load_reproducer(FIXTURE)
+        scenario = scenario_from_dict(repro["scenario"])
+        crashed = {
+            crash.processor: crash.at for crash in scenario.crashes
+        }
+        assert set(crashed) == {"P2", "P4"}
+        assert crashed["P4"] == pytest.approx(2.031, abs=1e-3)
+        assert crashed["P2"] == pytest.approx(15.09, abs=1e-2)

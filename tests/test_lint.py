@@ -650,3 +650,83 @@ def test_advisor_carries_lint_findings():
     advice = advise(paper.first_example_problem(failures=1), attempts=2)
     assert any(d.rule == "FT108" for d in advice.lint_findings)
     assert "static analysis" in advice.render()
+
+
+# ----------------------------------------------------------------------
+# FT216: static delivery-gap heuristic
+# ----------------------------------------------------------------------
+
+
+def gap_problem(failures=1):
+    """``a -> b`` on a three-processor bus (room for a takeover gap)."""
+    algorithm = AlgorithmGraph("gap")
+    algorithm.add_comp("a")
+    algorithm.add_comp("b")
+    algorithm.add_dependency("a", "b")
+    architecture = bus_architecture(("P1", "P2", "P3"))
+    return Problem(
+        algorithm=algorithm,
+        architecture=architecture,
+        execution=ExecutionTable.uniform(("a", "b"), ("P1", "P2", "P3")),
+        communication=CommunicationTable.uniform_per_dependency(
+            {("a", "b"): 0.5}, ["bus"]
+        ),
+        failures=failures,
+        name="gap",
+    )
+
+
+def gap_schedule(with_ladder=False):
+    """``a`` replicated on P1/P2, consumer ``b`` on P3, one static send.
+
+    Without a timeout ladder, crashing P1 (the only scheduled sender)
+    leaves survivor ``a@P2`` holding data it will never send — the
+    static shadow of the ROADMAP delivery gap.
+    """
+    from repro.core.schedule import TimeoutEntry
+
+    problem = gap_problem(failures=1)
+    schedule = Schedule(problem, ScheduleSemantics.SOLUTION1)
+    schedule.add_replica(ReplicaPlacement("a", "P1", 0.0, 1.0, replica=0))
+    schedule.add_replica(ReplicaPlacement("a", "P2", 0.0, 1.0, replica=1))
+    schedule.add_replica(ReplicaPlacement("b", "P3", 2.0, 3.0, replica=0))
+    schedule.add_replica(ReplicaPlacement("b", "P1", 2.0, 3.0, replica=1))
+    schedule.add_comm(
+        CommSlot(("a", "b"), "P1", ("P3",), "bus", 1.0, 1.5)
+    )
+    if with_ladder:
+        schedule.add_timeout(
+            TimeoutEntry(
+                op="a",
+                dependency=("a", "b"),
+                watcher="P2",
+                candidate="P1",
+                rank=0,
+                deadline=1.5,
+            )
+        )
+    return schedule
+
+
+def test_ft216_delivery_gap_fires_without_survivor_ladder():
+    report = lint_schedule(gap_schedule(with_ladder=False))
+    findings = [d for d in report.findings if d.rule == "FT216"]
+    assert findings, "FT216 should flag the missing takeover ladder"
+    assert findings[0].severity is Severity.WARNING
+    assert "b@P3" in findings[0].message
+    assert findings[0].subject == "a->b"
+
+
+def test_ft216_silent_with_survivor_ladder():
+    report = lint_schedule(gap_schedule(with_ladder=True))
+    assert not [d for d in report.findings if d.rule == "FT216"]
+
+
+def test_ft216_silent_on_paper_schedules():
+    for problem, build in (
+        (paper.first_example_problem(failures=1), schedule_solution1),
+        (paper.second_example_problem(failures=1), schedule_solution2),
+    ):
+        schedule = build(problem).schedule
+        report = lint_schedule(schedule)
+        assert not [d for d in report.findings if d.rule == "FT216"]

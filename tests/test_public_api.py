@@ -52,6 +52,12 @@ MODULES = [
     "repro.obs.bench.runner",
     "repro.obs.bench.compare",
     "repro.obs.bench.dashboard",
+    "repro.obs.campaign",
+    "repro.obs.campaign.model",
+    "repro.obs.campaign.space",
+    "repro.obs.campaign.executor",
+    "repro.obs.campaign.diagnose",
+    "repro.obs.campaign.report",
     "repro.lint",
     "repro.lint.model",
     "repro.lint.registry",

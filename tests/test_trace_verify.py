@@ -3,7 +3,13 @@
 import pytest
 
 from repro.sim import FailureScenario, simulate
-from repro.sim.trace import ExecutionRecord, FrameRecord, IterationTrace
+from repro.sim.faults import LinkCrash
+from repro.sim.trace import (
+    DetectionRecord,
+    ExecutionRecord,
+    FrameRecord,
+    IterationTrace,
+)
 from repro.sim.verify import verify_trace
 
 
@@ -89,3 +95,127 @@ class TestViolationsDetected:
         report = verify_trace(trace, bus_baseline.schedule)
         with pytest.raises(AssertionError, match="input-causality"):
             report.raise_if_invalid()
+
+
+class TestLinkAndIntermittentScenarios:
+    """Real traces under link failures and transient outages stay clean."""
+
+    @pytest.mark.parametrize("at", [0.0, 1.5, 4.0], ids="at={}".format)
+    def test_solution1_bus_failure_verifies(self, bus_solution1, at):
+        scenario = FailureScenario.link_failure("bus", at=at)
+        trace = simulate(bus_solution1.schedule, scenario)
+        verify_trace(trace, bus_solution1.schedule, scenario).raise_if_invalid()
+
+    def test_solution2_transient_link_outage_verifies(self, p2p_solution2):
+        scenario = FailureScenario(
+            link_crashes=(LinkCrash("L1.2", 0.5, 2.5),),
+            name="link-outage(L1.2@[0.5,2.5))",
+        )
+        trace = simulate(p2p_solution2.schedule, scenario)
+        verify_trace(trace, p2p_solution2.schedule, scenario).raise_if_invalid()
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            FailureScenario.intermittent("P2", 2.0, 5.0),
+            FailureScenario.intermittent("P1", 0.0, 1.0),
+            FailureScenario.intermittent("P3", 6.0, 7.0),
+        ],
+        ids=str,
+    )
+    def test_solution1_intermittent_verifies(self, bus_solution1, scenario):
+        trace = simulate(bus_solution1.schedule, scenario)
+        verify_trace(trace, bus_solution1.schedule, scenario).raise_if_invalid()
+
+    def test_intermittent_plus_link_failure_verifies(self, p2p_solution2):
+        scenario = FailureScenario(
+            crashes=FailureScenario.intermittent("P2", 1.0, 3.0).crashes,
+            link_crashes=FailureScenario.link_failure("L1.2", at=2.0).link_crashes,
+            name="intermittent(P2)+link-failure(L1.2)",
+        )
+        trace = simulate(p2p_solution2.schedule, scenario)
+        verify_trace(trace, p2p_solution2.schedule, scenario).raise_if_invalid()
+
+    def test_execution_spanning_outage_is_dead_computation(self, bus_baseline):
+        # A computation that straddles the processor's dead window is
+        # physically impossible even though the processor recovers.
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        scenario = FailureScenario.intermittent("P1", 0.3, 0.7)
+        report = verify_trace(trace, bus_baseline.schedule, scenario)
+        assert any(v.rule == "dead-computation" for v in report.violations)
+
+    def test_transmission_during_outage_is_dead_transmission(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        trace.frames.append(
+            FrameRecord(("I", "A"), "P1", ("P2",), "bus", 1.0, 2.25, True)
+        )
+        scenario = FailureScenario.intermittent("P1", 1.5, 2.0)
+        report = verify_trace(trace, bus_baseline.schedule, scenario)
+        assert any(v.rule == "dead-transmission" for v in report.violations)
+
+    def test_execution_outside_outage_is_clean(self, bus_baseline):
+        trace = IterationTrace()
+        trace.executions.append(ExecutionRecord("I", "P1", 0.0, 1.0, True))
+        scenario = FailureScenario.intermittent("P1", 2.0, 3.0)
+        report = verify_trace(trace, bus_baseline.schedule, scenario)
+        assert not any(v.rule == "dead-computation" for v in report.violations)
+
+
+class TestDetectionRecordEdgeCases:
+    """Watchdog DetectionRecords at the timeout ladder's corner cases."""
+
+    def test_detection_lands_at_the_ladder_deadline(self, bus_solution1):
+        # P2 crashes at 3.0, before sending B's result; P3's rank-0
+        # watchdog for (B, E) must fire *at* its deadline, not before
+        # and not a window later.
+        schedule = bus_solution1.schedule
+        entry = next(
+            t
+            for t in schedule.timeouts
+            if t.op == "B" and t.candidate == "P2" and t.rank == 0
+        )
+        trace = simulate(schedule, FailureScenario.crash("P2", 3.0))
+        detection = next(d for d in trace.detections if d.suspect == "P2")
+        assert detection.watcher == entry.watcher
+        assert detection.time >= entry.deadline
+        assert detection.time == pytest.approx(entry.deadline, abs=1e-6)
+
+    def test_crash_exactly_at_detection_boundary_verifies(self, bus_solution1):
+        # Crash the candidate exactly on a ladder deadline: the trace
+        # must still satisfy every physical invariant.
+        schedule = bus_solution1.schedule
+        deadline = min(t.deadline for t in schedule.timeouts)
+        scenario = FailureScenario.crash("P2", deadline)
+        trace = simulate(schedule, scenario)
+        verify_trace(trace, schedule, scenario).raise_if_invalid()
+
+    def test_known_dead_processor_needs_no_detection(self, bus_solution1):
+        # A processor known dead before the iteration starts is acted
+        # on at the static point: no watchdog fires, no timeout is paid.
+        scenario = FailureScenario.dead_from_start("P2", known=True)
+        trace = simulate(bus_solution1.schedule, scenario)
+        assert trace.completed
+        assert not any(d.suspect == "P2" for d in trace.detections)
+        verify_trace(trace, bus_solution1.schedule, scenario).raise_if_invalid()
+
+    def test_unknown_dead_processor_is_detected_once(self, bus_solution1):
+        # Same crash, but the executive has to discover it: exactly one
+        # watchdog declares P2 dead, later ladders coalesce on it.
+        scenario = FailureScenario.dead_from_start("P2", known=False)
+        trace = simulate(bus_solution1.schedule, scenario)
+        assert trace.completed
+        suspects = [d for d in trace.detections if d.suspect == "P2"]
+        assert len(suspects) == 1
+        verify_trace(trace, bus_solution1.schedule, scenario).raise_if_invalid()
+
+    def test_detection_record_fields_are_coherent(self, bus_solution1):
+        schedule = bus_solution1.schedule
+        trace = simulate(schedule, FailureScenario.crash("P2", 3.0))
+        watchers = {t.watcher for t in schedule.timeouts}
+        for record in trace.detections:
+            assert isinstance(record, DetectionRecord)
+            assert record.watcher in watchers
+            assert record.watcher != record.suspect
+            assert 0.0 <= record.time <= trace.response_time
