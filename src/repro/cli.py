@@ -10,7 +10,10 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
     repro-scheduler simulate PROBLEM --method solution1 \
         [--crash P2@3.0] [--iterations 3] [--period T] [--gantt] [--svg FILE]
     repro-scheduler compare PROBLEM [--best-of N] [--jobs N]
-    repro-scheduler certify PROBLEM --method solution2
+    repro-scheduler certify PROBLEM --method solution2 [--prove]
+    repro-scheduler prove [PROBLEM] [--paper fig17] [--method auto] \
+        [--out PROOF.json] [--counterexample REPRO.json] [--repro FILE] \
+        [--max-evals N]
     repro-scheduler profile [PROBLEM] [--paper fig17] --method solution1 \
         [--crash P2@3.0] [--obs-out out.trace.json] [--metrics-out m.json]
     repro-scheduler explain [PROBLEM] [--paper fig17] --method solution1 \
@@ -57,6 +60,13 @@ strata), executes every equivalence class, diagnoses failures down to
 the undelivered dependency, and exits non-zero on failing verdicts;
 ``campaign report`` re-renders a saved ``CAMPAIGN.json``; see
 ``docs/campaigns.md``.
+
+Static proof: ``prove`` compiles the schedule into a delivery
+automaton and verifies every dependency of every surviving replica
+under every ≤K crash subset — SAFE emits a machine-checkable
+``repro.lint.proof/1`` artifact, UNSAFE a campaign-replayable
+counterexample; ``certify --prove`` folds the FT4xx findings into the
+certification gate; see ``docs/lint.md``.
 """
 
 from __future__ import annotations
@@ -380,11 +390,158 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         f"certified: {report.ok}"
     )
     lint_report = report.to_lint_report()
-    if not report.ok:
+    if getattr(args, "prove", False):
+        # Strengthen the route-liveness certificate with the FT4xx
+        # delivery proof: either "tolerates K by construction, proven
+        # for all ≤K subsets" or "refuted, see reproducer".  The
+        # prover run is shared with the rules via proof_for().
+        from .lint.proof.rules import proof_for
+        from .lint.registry import get_rule
+
+        proof = proof_for(result.schedule)
+        print(proof.summary_line())
+        for rule_id in ("FT401", "FT402", "FT403", "FT404"):
+            lint_report.extend(get_rule(rule_id).findings(result.schedule))
+    if not lint_report.ok:
         print(render_text(lint_report))
     # Error-level findings gate the exit code so `repro certify` can be
     # used directly as a CI check.
     return lint_report.gate()
+
+
+def _prove_problem_spec(args: argparse.Namespace) -> dict:
+    """The reproducer ``problem`` spec for the prove target."""
+    if getattr(args, "paper", ""):
+        kind = (
+            "paper-first"
+            if args.paper in ("fig17", "first")
+            else "paper-second"
+        )
+        return {"kind": kind, "failures": 1}
+    return {"kind": "file", "path": args.problem}
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from .lint.proof import (
+        check_scenario,
+        counterexample_reproducer,
+        prove_delivery,
+        save_proof,
+    )
+
+    if args.repro:
+        # Statically re-derive a committed reproducer's verdict: the
+        # automaton interprets its exact crash dates — no simulation.
+        from .obs.campaign import (
+            load_reproducer,
+            problem_from_spec,
+            scenario_from_dict,
+        )
+
+        try:
+            reproducer = load_reproducer(args.repro)
+            problem = problem_from_spec(reproducer["problem"])
+            scenario = scenario_from_dict(reproducer["scenario"])
+            method = reproducer["method"]
+        except (OSError, KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        schedule = _run_method(problem, method, 0).schedule
+        crashes = {crash.processor: crash.at for crash in scenario.crashes}
+        check = check_scenario(schedule, crashes)
+        verdict = "refuted" if check.refuted else "delivered"
+        print(
+            f"static replay of {args.repro}: method {method}, "
+            f"crashes {', '.join(f'{p}@{t:g}' for p, t in sorted(crashes.items()))}"
+        )
+        print(f"crash class: {check.label}  verdict: {verdict}")
+        if check.refuted:
+            print(f"missing outputs: {', '.join(check.missing_outputs)}")
+            for line in check.undelivered:
+                print(f"undelivered: {line}")
+            if check.counterexample is not None and check.counterexample.narrative:
+                print(check.counterexample.narrative)
+        expect = reproducer.get("expect", "fail")
+        agrees = check.refuted == (expect == "fail")
+        print(
+            f"reproducer expects {expect!r}: the static verdict "
+            f"{'agrees' if agrees else 'DISAGREES'}"
+        )
+        if args.counterexample and check.counterexample is not None:
+            spec = dict(reproducer["problem"])
+            _write_reproducer(
+                counterexample_reproducer(check.counterexample, spec, method),
+                args.counterexample,
+            )
+        # Mirror `campaign run --repro`: exit 1 while the reproducer
+        # still fails (CI inverts this until the fix PR lands).
+        return 1 if check.refuted else 0
+
+    problem = _resolve_problem(args)
+    method = args.method if args.method != "auto" else _auto_method(problem)
+    result = _run_method_args(problem, method, args)
+    proof = prove_delivery(
+        result.schedule, max_evals_per_subset=args.max_evals
+    )
+    print(
+        f"method: {method}  K={problem.failures}  "
+        f"semantics: {proof.semantics}  detection: {proof.detection}"
+    )
+    print(proof.summary_line())
+    print(
+        f"subsets checked: {proof.subsets_checked}  "
+        f"pruned: {proof.subsets_pruned}  "
+        f"evaluations: {proof.evaluations}  "
+        f"classes collapsed: {proof.classes_collapsed}  "
+        f"witness depth: {proof.witness_depth}"
+    )
+    by_status = {"proven": [], "local": [], "refuted": []}
+    for witness in proof.dependencies:
+        by_status.setdefault(witness.status, []).append(witness.dependency)
+    print(
+        "dependencies: "
+        + "  ".join(
+            f"{status}={len(deps)}" for status, deps in by_status.items()
+        )
+    )
+    for dep in by_status["refuted"]:
+        print(f"refuted: {dep}")
+    if proof.verdict == "UNSAFE" and proof.counterexample is not None:
+        cx = proof.counterexample
+        crashes = ", ".join(
+            f"{p}@{t:.6g}" for p, t in sorted(cx.crashes.items())
+        )
+        print(f"counterexample: class {cx.label} (witness crashes {crashes})")
+        if cx.narrative:
+            print(cx.narrative)
+    if args.out:
+        save_proof(proof, args.out)
+        print(f"wrote proof artifact to {args.out}")
+    if args.counterexample:
+        if proof.counterexample is None:
+            print(
+                "no counterexample to export "
+                f"(verdict {proof.verdict})",
+                file=sys.stderr,
+            )
+        else:
+            _write_reproducer(
+                counterexample_reproducer(
+                    proof.counterexample, _prove_problem_spec(args), method
+                ),
+                args.counterexample,
+            )
+    return 0 if proof.verdict == "SAFE" else 1
+
+
+def _write_reproducer(reproducer: dict, path: str) -> None:
+    from .obs.campaign import save_reproducer
+
+    save_reproducer(reproducer, path)
+    print(
+        f"wrote campaign-replayable counterexample to {path} "
+        "(replay: repro campaign run --repro)"
+    )
 
 
 def _auto_method(problem: Problem) -> str:
@@ -1007,7 +1164,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert = sub.add_parser("certify", help="exhaustive K-fault certification")
     add_common(p_cert)
     add_obs_flags(p_cert)
+    p_cert.add_argument(
+        "--prove", action="store_true",
+        help="also run the FT4xx static delivery prover: 'tolerates K "
+        "by construction, proven for all <=K subsets' or 'refuted, see "
+        "reproducer' (error findings gate the exit code)",
+    )
     p_cert.set_defaults(func=_cmd_certify)
+
+    p_prove = sub.add_parser(
+        "prove",
+        help="static <=K-crash delivery proof: SAFE with a "
+        "machine-checkable proof artifact, or UNSAFE with a "
+        "campaign-replayable counterexample — no simulation",
+    )
+    add_paper_target(p_prove)
+    add_obs_flags(p_prove)
+    p_prove.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the repro.lint.proof/1 proof artifact JSON",
+    )
+    p_prove.add_argument(
+        "--counterexample", default="", metavar="FILE",
+        help="export the canonical counterexample as a "
+        "repro.obs.campaign.reproducer/1 JSON "
+        "(replay: repro campaign run --repro FILE)",
+    )
+    p_prove.add_argument(
+        "--repro", default="", metavar="FILE",
+        help="statically re-check one committed reproducer's exact "
+        "crash dates instead of proving the whole <=K space "
+        "(exit 1 while it still fails, like campaign run --repro)",
+    )
+    p_prove.add_argument(
+        "--max-evals", type=int, default=8000, metavar="N",
+        help="per-subset region-evaluation budget before the verdict "
+        "degrades to UNPROVEN (soundness is never sacrificed)",
+    )
+    p_prove.set_defaults(func=_cmd_prove)
 
     p_profile = sub.add_parser(
         "profile",

@@ -3,10 +3,11 @@
 The paper's value proposition is *static* assurance — schedules are
 proven fault-tolerant before deployment.  This subsystem turns that
 assurance into tooling: a registry of identified, suppressible rules
-(``FT1xx`` problem lints, ``FT2xx`` schedule lints) with error /
-warning / info severities, one shared diagnostic model also used by
-:mod:`repro.core.validate` and the certifier, and text / JSON / SARIF
-emitters so ``repro lint`` can gate CI.
+(``FT1xx`` problem lints, ``FT2xx`` schedule lints, ``FT4xx`` proof
+rules backed by the :mod:`repro.lint.proof` delivery verifier) with
+error / warning / info severities, one shared diagnostic model also
+used by :mod:`repro.core.validate` and the certifier, and text / JSON
+/ SARIF emitters so ``repro lint`` can gate CI.
 
 Public API::
 

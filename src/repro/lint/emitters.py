@@ -105,8 +105,39 @@ def _sarif_rule(rule: Rule) -> Dict[str, object]:
     }
 
 
+def _logical_kind(subject: str) -> str:
+    """Classify a diagnostic subject for SARIF ``logicalLocation.kind``.
+
+    The subjects our rules yield follow a few syntactic conventions:
+    ``pred->op`` names a dependency, ``op@proc`` a replica anchored on
+    a processor, ``key=value`` a schedule parameter, ``P+Q`` a crash
+    subset; a bare token is a schedule element (operation, processor,
+    or link).  SARIF allows arbitrary kind strings.
+    """
+    if "->" in subject:
+        return "dependency"
+    if "@" in subject:
+        return "replica"
+    if "=" in subject:
+        return "parameter"
+    if "+" in subject:
+        return "crash-subset"
+    return "element"
+
+
 def report_to_sarif(report: LintReport, indent: Optional[int] = 2) -> str:
-    """A single-run SARIF 2.1.0 log of the report."""
+    """A single-run SARIF 2.1.0 log of the report.
+
+    Every result carries a location: the *logical* location names the
+    schedule anchor the rule flagged (operation, dependency, replica,
+    processor, crash subset) and the *physical* location points at the
+    analysed artifact (the problem file or ``paper:<name>`` label the
+    engine recorded as the finding's source).  Findings without a
+    subject fall back to a logical location named after the rule, with
+    ``kind: "rule"`` so :func:`report_from_sarif` can tell the synthetic
+    anchor from a real one.
+    """
+    rules = {rule.id: rule for rule in all_rules()}
     results = []
     for diagnostic in report.sorted():
         result: Dict[str, object] = {
@@ -114,15 +145,27 @@ def report_to_sarif(report: LintReport, indent: Optional[int] = 2) -> str:
             "level": _TO_LEVEL[diagnostic.severity],
             "message": {"text": diagnostic.message},
         }
-        locations: Dict[str, object] = {}
         if diagnostic.subject:
-            locations["logicalLocations"] = [{"name": diagnostic.subject}]
+            logical = {
+                "name": diagnostic.subject,
+                "kind": _logical_kind(diagnostic.subject),
+                "fullyQualifiedName": (
+                    f"{diagnostic.rule}/{diagnostic.subject}"
+                ),
+            }
+        else:
+            rule = rules.get(diagnostic.rule)
+            logical = {
+                "name": rule.name if rule else diagnostic.rule,
+                "kind": "rule",
+                "fullyQualifiedName": diagnostic.rule,
+            }
+        location: Dict[str, object] = {"logicalLocations": [logical]}
         if diagnostic.source:
-            locations["physicalLocation"] = {
+            location["physicalLocation"] = {
                 "artifactLocation": {"uri": diagnostic.source}
             }
-        if locations:
-            result["locations"] = [locations]
+        result["locations"] = [location]
         results.append(result)
     log = {
         "$schema": SARIF_SCHEMA,
@@ -157,7 +200,10 @@ def report_from_sarif(text: str) -> LintReport:
             source = ""
             for location in result.get("locations", ()):
                 for logical in location.get("logicalLocations", ()):
-                    subject = logical.get("name", "")
+                    # kind "rule" marks the synthetic fallback anchor
+                    # of a subject-less finding: not a real subject.
+                    if logical.get("kind") != "rule":
+                        subject = logical.get("name", "")
                 physical = location.get("physicalLocation", {})
                 source = physical.get("artifactLocation", {}).get("uri", "")
             report.add(

@@ -108,6 +108,7 @@ def rule(
 def _ensure_packs_loaded() -> None:
     """Import the shipped rule packs (idempotent)."""
     from . import obs_rules, problem_rules, schedule_rules  # noqa: F401
+    from .proof import rules  # noqa: F401  (the FT4xx proof pack)
 
 
 def all_rules() -> List[Rule]:

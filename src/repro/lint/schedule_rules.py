@@ -309,11 +309,12 @@ def check_overhead(schedule: Schedule) -> Iterator[Finding]:
     "delivery-gap",
     Severity.WARNING,
     Scope.SCHEDULE,
-    "heuristic: a <=K crash subset cuts every scheduled sender of a "
-    "dependency and no surviving replica has a takeover ladder for it",
+    "fast pre-filter of FT401: a <=K crash subset cuts every scheduled "
+    "sender of a dependency and no surviving replica has a takeover "
+    "ladder for it",
 )
 def check_delivery_gap(schedule: Schedule) -> Iterator[Finding]:
-    """Static shadow of the runtime delivery gap.
+    """Fast structural pre-filter of the FT401 delivery proof.
 
     For each inter-processor dependency, consider every crash subset
     of up to K of its source-replica hosts.  If a subset removes every
@@ -321,11 +322,17 @@ def check_delivery_gap(schedule: Schedule) -> Iterator[Finding]:
     consumer replica still needs it, and no surviving source-replica
     host has a timeout-ladder entry for the dependency (i.e. no
     takeover communication is scheduled from a survivor), the data has
-    no scheduled way to reach the consumer.  Heuristic: it inspects
-    the static plan only, so dynamic stand-down races (a ladder entry
-    that exists but is cancelled by a doomed frame, the ROADMAP
-    delivery gap) are out of its reach — campaigns
-    (:mod:`repro.obs.campaign`) catch those.
+    no scheduled way to reach the consumer.
+
+    This rule inspects the static plan only — a cheap necessary-
+    condition check that runs in microseconds.  Anything it flags is a
+    genuine delivery gap, so it must never contradict the full prover:
+    FT216 firing implies FT401 firing (the differential battery pins
+    that invariant).  The converse does not hold: dynamic stand-down
+    races (a ladder entry that exists but is cancelled by a doomed
+    frame, the ROADMAP delivery gap) are invisible here and only the
+    :mod:`repro.lint.proof` automaton interpretation (FT401/FT403)
+    finds them statically.
     """
     import itertools
 

@@ -333,6 +333,59 @@ def campaign_paper_examples(obs, failures: int, seed: int) -> Dict[str, Metric]:
 
 
 @scenario(
+    "lint.proof.paper_examples",
+    "Static FT4xx delivery proof of both paper examples: subset-lattice "
+    "and region-pruning effectiveness, proof size, wall time",
+    suites=("quick", "full"),
+    failures=1,
+)
+def lint_proof_paper_examples(obs, failures: int) -> Dict[str, Metric]:
+    # Import here: the proof pack pulls repro.core and repro.lint,
+    # which must not load when repro.obs.bench is merely imported.
+    from ...lint.proof import prove_delivery
+
+    targets = (
+        ("paper:first", examples.first_example_problem(failures=failures),
+         schedule_solution1),
+        ("paper:second", examples.second_example_problem(failures=failures),
+         schedule_solution2),
+    )
+    started = time.perf_counter()
+    proofs = []
+    for label, problem, method in targets:
+        proof = prove_delivery(method(problem).schedule)
+        if proof.verdict != "SAFE":
+            raise RuntimeError(
+                f"{label} is no longer provably delivered: {proof.verdict}"
+            )
+        proofs.append(proof)
+    wall = time.perf_counter() - started
+    return {
+        # The prover is deterministic: every count is a function of
+        # the (deterministic) schedules alone.
+        "subsets_checked": Metric(
+            sum(p.subsets_checked for p in proofs),
+            unit="subsets", direction="exact", kind="counter",
+        ),
+        "evaluations": Metric(
+            sum(p.evaluations for p in proofs),
+            unit="runs", direction="exact", kind="counter",
+        ),
+        "classes_collapsed": Metric(
+            sum(p.classes_collapsed for p in proofs),
+            unit="classes", direction="exact", kind="counter",
+        ),
+        "witness_depth": Metric(
+            max(p.witness_depth for p in proofs),
+            unit="hops", direction="exact", kind="counter",
+        ),
+        "proof_wall_s": Metric(
+            wall, unit="s", direction="lower", kind="timing", noise=0.75,
+        ),
+    }
+
+
+@scenario(
     "schedule.random24.solution1",
     "Solution 1 on a 24-operation random bus workload (scalability probe)",
     suites=("full",),

@@ -101,3 +101,111 @@ class TestFigure8Chain:
                 detection="oracle",
             )
             assert trace.completed == verdicts[frozenset({victim})], victim
+
+
+class TestTimeoutLadderEdgeCases:
+    """Edge cases of the ``core/timeouts.py`` ladders under the
+    executive: coalesced skips that re-arm the next rung, rungs whose
+    watcher is itself dead, and deadline-equal observation ties."""
+
+    @pytest.fixture(scope="class")
+    def ladder_schedule(self):
+        """A K=2 bus schedule with multi-rung ladders (the ROADMAP
+        fixture problem: 10 ops, 4 processors, seed 0)."""
+        from repro.graphs.generators import random_bus_problem
+
+        problem = random_bus_problem(
+            operations=10, processors=4, failures=2, seed=0
+        )
+        return schedule_solution1(problem).schedule
+
+    def test_rearm_after_coalesced_skip(self, ladder_schedule):
+        """Once a candidate is flagged dead for one dependency, later
+        rungs watching the same candidate are skipped *without
+        waiting* (coalesced) — and the skip must re-arm the next rung,
+        so the surviving candidate's takeover still happens."""
+        trace = simulate(
+            ladder_schedule, FailureScenario.crash("P4", at=2.031)
+        )
+        assert trace.completed
+        # P4 was declared faulty by some surviving watcher...
+        assert any(d.suspect == "P4" for d in trace.detections)
+        # ...but only through real ladder expiries: every further rung
+        # on P4 coalesces into the existing flag instead of timing out
+        # again for the same (watcher, op) pair.
+        seen = set()
+        for detection in trace.detections:
+            key = (detection.watcher, detection.suspect, detection.op)
+            assert key not in seen, f"duplicate declaration {key}"
+            seen.add(key)
+        # The re-armed rungs produced actual takeover traffic.
+        assert trace.takeover_frames()
+        assert any(f.delivered for f in trace.takeover_frames())
+
+    def test_dead_watcher_stands_down_silently(self, ladder_schedule):
+        """A watcher that dies mid-ladder must neither declare
+        suspects nor dispatch takeovers after its death — its rungs
+        terminate at the next alive-check, in deadline order."""
+        death = 10.0
+        trace = simulate(
+            ladder_schedule, FailureScenario.crash("P2", at=death)
+        )
+        assert trace.completed
+        assert not [
+            d for d in trace.detections
+            if d.watcher == "P2" and d.time > death
+        ], "a dead watcher declared a suspect"
+        assert not [
+            f for f in trace.frames
+            if f.sender == "P2" and f.start > death
+        ], "a dead watcher dispatched a frame"
+
+    def test_minimal_deadlines_tie_with_observation(self, ladder_schedule):
+        """Ladder deadlines recomputed with *zero* drain margin can tie
+        exactly with the watched frame's static end date.  The
+        DEADLINE_SLACK tie-break must hand the race to the observation:
+        a failure-free run under the minimal table sees no spurious
+        detection and no takeover traffic."""
+        import copy
+        from dataclasses import replace
+
+        from repro.core.timeouts import minimal_timeout_table
+
+        minimal = minimal_timeout_table(ladder_schedule)
+        tight = copy.deepcopy(ladder_schedule)
+        tight._timeouts = [
+            replace(
+                entry,
+                deadline=minimal[
+                    (entry.op, entry.dependency, entry.watcher, entry.rank)
+                ],
+            )
+            for entry in ladder_schedule.timeouts
+        ]
+        trace = simulate(tight)
+        assert trace.completed
+        assert trace.detections == []
+        assert trace.takeover_frames() == []
+
+    def test_minimal_deadlines_still_cover_takeover(self, ladder_schedule):
+        """The same zero-margin table must stay *sound*: a real crash
+        is still detected and the takeover still delivers."""
+        import copy
+        from dataclasses import replace
+
+        from repro.core.timeouts import minimal_timeout_table
+
+        minimal = minimal_timeout_table(ladder_schedule)
+        tight = copy.deepcopy(ladder_schedule)
+        tight._timeouts = [
+            replace(
+                entry,
+                deadline=minimal[
+                    (entry.op, entry.dependency, entry.watcher, entry.rank)
+                ],
+            )
+            for entry in ladder_schedule.timeouts
+        ]
+        trace = simulate(tight, FailureScenario.crash("P1", at=1.0))
+        assert trace.completed
+        assert any(d.suspect == "P1" for d in trace.detections)

@@ -1,0 +1,158 @@
+"""Differential gate: the static prover vs the dynamic campaign layer.
+
+Two independent implementations of the same question — "does this
+schedule deliver under ≤K crashes?" — must agree on every problem:
+
+* prover-SAFE  ⇒ an exhaustive ≤K campaign run finds no failing
+  scenario;
+* prover-UNSAFE ⇒ the prover's own exported counterexample fails in
+  the real simulator (not merely *some* campaign scenario);
+* spot-check: concrete crash assignments decided by
+  ``check_scenario`` match ``simulate()`` exactly;
+* FT216, demoted to a fast pre-filter, never contradicts FT401:
+  whenever FT216 fires, FT401 refutes the schedule too.
+
+The battery is seeded and small (CI-speed); the CI workflow runs the
+same gate as a job so drift between the layers blocks merges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schedule_solution1, schedule_solution2
+from repro.core.timeline import event_boundaries
+from repro.graphs.generators import random_bus_problem, random_p2p_problem
+from repro.lint.proof import check_scenario, counterexample_reproducer, prove_delivery
+from repro.obs.campaign import (
+    CampaignScenario,
+    class_key,
+    enumerate_space,
+    execute_scenario,
+    problem_from_spec,
+    run_campaign,
+    scenario_from_dict,
+)
+from repro.sim import FailureScenario, simulate
+from repro.sim.values import reference_outputs
+
+#: The seeded battery: (label, generator, kwargs, method).  Bus
+#: problems get Solution 1 (snoop detection), point-to-point problems
+#: Solution 2 — the paper's architecture rule, and the two prover
+#: code paths.
+BATTERY = [
+    ("bus6-k1", random_bus_problem,
+     dict(operations=6, processors=3, failures=1, seed=11), "solution1"),
+    ("bus8-k1", random_bus_problem,
+     dict(operations=8, processors=4, failures=1, seed=5), "solution1"),
+    ("bus10-k2", random_bus_problem,
+     dict(operations=10, processors=4, failures=2, seed=0), "solution1"),
+    ("p2p6-k1", random_p2p_problem,
+     dict(operations=6, processors=3, failures=1, seed=3), "solution2"),
+    ("p2p8-k1", random_p2p_problem,
+     dict(operations=8, processors=4, failures=1, seed=9), "solution2"),
+]
+
+_SCHEDULERS = {"solution1": schedule_solution1, "solution2": schedule_solution2}
+
+
+def _spec(generator, kwargs):
+    kind = "random-bus" if generator is random_bus_problem else "random-p2p"
+    return {"kind": kind, **kwargs}
+
+
+@pytest.fixture(scope="module", params=BATTERY, ids=[b[0] for b in BATTERY])
+def target(request):
+    label, generator, kwargs, method = request.param
+    problem = generator(**kwargs)
+    schedule = _SCHEDULERS[method](problem).schedule
+    return label, problem, schedule, method, _spec(generator, kwargs)
+
+
+class TestProverAgreesWithCampaign:
+    def test_verdicts_agree(self, target):
+        label, problem, schedule, method, spec = target
+        proof = prove_delivery(schedule)
+        assert proof.verdict in ("SAFE", "UNSAFE"), (
+            f"{label}: budget exhausted on a battery-sized problem"
+        )
+        if proof.verdict == "SAFE":
+            space = enumerate_space(schedule, failures=problem.failures, seed=1)
+            result = run_campaign(
+                schedule, space, label=label, method=method,
+                failures=problem.failures,
+            )
+            assert result.all_passed, (
+                f"{label}: prover says SAFE but campaign scenarios fail: "
+                f"{[o.name for o in result.failed]}"
+            )
+        else:
+            cx = proof.counterexample
+            reproducer = counterexample_reproducer(cx, spec, method)
+            replay = scenario_from_dict(reproducer["scenario"])
+            rebuilt = problem_from_spec(reproducer["problem"])
+            outcome = execute_scenario(
+                schedule,
+                CampaignScenario(
+                    scenario=replay,
+                    key=class_key(replay, event_boundaries(schedule)),
+                    origin="reproducer",
+                ),
+                reference_outputs(rebuilt.algorithm),
+                problem_spec=reproducer["problem"],
+                method=method,
+            )
+            assert not outcome.passed, (
+                f"{label}: prover counterexample {cx.label} passes in the "
+                "simulator — the refutation is spurious"
+            )
+
+    def test_concrete_scenarios_bisimulate(self, target):
+        """check_scenario() must equal simulate() on random concrete
+        crash assignments — the abstract runs are exact."""
+        label, problem, schedule, method, spec = target
+        names = problem.architecture.processor_names
+        for seed in range(20):
+            scenario = FailureScenario.random(
+                names, problem.failures, seed=seed
+            )
+            crashes = {c.processor: c.at for c in scenario.crashes}
+            static = check_scenario(schedule, crashes)
+            trace = simulate(schedule, scenario)
+            assert static.refuted == (not trace.completed), (
+                f"{label} seed {seed}: static verdict "
+                f"{'refuted' if static.refuted else 'delivered'} but "
+                f"simulator completed={trace.completed}"
+            )
+
+
+class TestFT216NeverContradictsFT401:
+    """FT216 is a necessary-condition pre-filter: anything it flags is
+    a genuine static gap, so FT401 must refute every schedule FT216
+    fires on.  (The converse is false by design: FT401 also finds
+    dynamic races FT216 cannot see — the ROADMAP fixture.)"""
+
+    def test_ft216_implies_ft401(self, target):
+        from repro.lint.registry import get_rule
+
+        label, problem, schedule, method, spec = target
+        ft216 = get_rule("FT216").findings(schedule)
+        if not ft216:
+            pytest.skip(f"{label}: FT216 silent here")
+        proof = prove_delivery(schedule)
+        assert proof.verdict == "UNSAFE", (
+            f"{label}: FT216 fired ({ft216[0].message}) but the prover "
+            f"verdict is {proof.verdict}"
+        )
+
+    def test_roadmap_fixture_is_the_converse_witness(self):
+        """The pinned delivery gap: FT401 refutes it while FT216 stays
+        silent — the dynamic race is invisible to plan inspection."""
+        from repro.lint.registry import get_rule
+
+        problem = random_bus_problem(
+            operations=10, processors=4, failures=2, seed=0
+        )
+        schedule = schedule_solution1(problem).schedule
+        assert not get_rule("FT216").findings(schedule)
+        assert prove_delivery(schedule).verdict == "UNSAFE"

@@ -66,6 +66,11 @@ MODULES = [
     "repro.lint.schedule_rules",
     "repro.lint.obs_rules",
     "repro.lint.emitters",
+    "repro.lint.proof",
+    "repro.lint.proof.automaton",
+    "repro.lint.proof.model",
+    "repro.lint.proof.rules",
+    "repro.lint.proof.verifier",
     "repro.sim",
     "repro.sim.engine",
     "repro.sim.faults",

@@ -1,0 +1,147 @@
+"""SARIF 2.1.0 conformance of the lint emitter.
+
+GitHub code scanning (and any SARIF viewer) ingests these logs, so
+the required fields of the 2.1.0 schema are pinned here structurally:
+log-level ``version``/``$schema``/``runs``, the tool driver with its
+rule metadata, and — the part this repo adds on top of the minimum —
+that **every** result carries a location: a logical location naming
+the schedule anchor (operation, dependency, replica, processor, crash
+subset) and, when the engine recorded a source label, a physical
+location with the analysed artifact's URI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    LintReport,
+    Severity,
+    all_rules,
+    lint_problem,
+    lint_schedule,
+    report_from_sarif,
+    report_to_sarif,
+)
+
+VALID_LEVELS = {"error", "warning", "note"}
+VALID_KINDS = {
+    "dependency", "replica", "parameter", "crash-subset", "element", "rule",
+}
+
+
+@pytest.fixture(scope="module")
+def sarif_log(bus_problem, bus_solution1):
+    """A real report (problem + schedule passes, source labels set)
+    plus synthetic subject-less/source-less findings."""
+    config = LintConfig.make(source="paper:first")
+    report = lint_problem(bus_problem, config)
+    report.merge(lint_schedule(bus_solution1.schedule, config))
+    # The historically location-less shapes: no subject, no source.
+    report.add("FT215", "makespan far above bound", Severity.INFO)
+    report.add("FT401", "refuted somewhere", Severity.ERROR, subject="P1+P2")
+    return json.loads(report_to_sarif(report))
+
+
+class TestLogStructure:
+    def test_required_log_fields(self, sarif_log):
+        assert sarif_log["version"] == "2.1.0"
+        assert sarif_log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert isinstance(sarif_log["runs"], list) and sarif_log["runs"]
+
+    def test_required_driver_fields(self, sarif_log):
+        driver = sarif_log["runs"][0]["tool"]["driver"]
+        assert driver["name"]
+        rules = driver["rules"]
+        assert rules
+        ids = set()
+        for rule in rules:
+            assert rule["id"] and rule["name"]
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in VALID_LEVELS
+            ids.add(rule["id"])
+        # The driver advertises the full registry.
+        assert ids == {rule.id for rule in all_rules()}
+
+    def test_results_reference_known_rules(self, sarif_log):
+        driver = sarif_log["runs"][0]["tool"]["driver"]
+        known = {rule["id"] for rule in driver["rules"]}
+        for result in sarif_log["runs"][0]["results"]:
+            assert result["ruleId"] in known
+
+
+class TestResultLocations:
+    def test_every_result_is_located(self, sarif_log):
+        """No result may be location-less: subject-less findings get
+        the synthetic rule anchor."""
+        results = sarif_log["runs"][0]["results"]
+        assert results
+        for result in results:
+            assert result["message"]["text"]
+            assert result["level"] in VALID_LEVELS
+            locations = result["locations"]
+            assert locations, f"location-less result: {result['ruleId']}"
+            logical = locations[0]["logicalLocations"]
+            assert logical and logical[0]["name"]
+            assert logical[0]["kind"] in VALID_KINDS
+            assert logical[0]["fullyQualifiedName"]
+
+    def test_sourced_results_carry_physical_location(self, sarif_log):
+        sourced = [
+            result
+            for result in sarif_log["runs"][0]["results"]
+            if "physicalLocation" in result["locations"][0]
+        ]
+        assert sourced, "no physical locations emitted at all"
+        for result in sourced:
+            physical = result["locations"][0]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "paper:first"
+
+    def test_logical_kinds_classify_subjects(self):
+        report = LintReport()
+        report.add("FT212", "dep", subject="A->B")
+        report.add("FT202", "replica", subject="Op@P1")
+        report.add("FT213", "deadline", subject="deadline=9.5")
+        report.add("FT401", "subset", subject="P1+P2")
+        report.add("FT201", "element", subject="OpX")
+        log = json.loads(report_to_sarif(report))
+        kinds = {
+            result["locations"][0]["logicalLocations"][0]["name"]: result[
+                "locations"
+            ][0]["logicalLocations"][0]["kind"]
+            for result in log["runs"][0]["results"]
+        }
+        assert kinds == {
+            "A->B": "dependency",
+            "Op@P1": "replica",
+            "deadline=9.5": "parameter",
+            "P1+P2": "crash-subset",
+            "OpX": "element",
+        }
+
+
+class TestRoundTrip:
+    def test_lossless_round_trip(self, bus_problem, bus_solution1):
+        config = LintConfig.make(source="paper:first")
+        report = lint_problem(bus_problem, config)
+        report.merge(lint_schedule(bus_solution1.schedule, config))
+        report.add("FT215", "subject-less advisory", Severity.INFO)
+        recovered = report_from_sarif(report_to_sarif(report))
+        original = sorted(
+            (d.rule, d.message, d.severity.value, d.subject, d.source)
+            for d in report.findings
+        )
+        recovered_rows = sorted(
+            (d.rule, d.message, d.severity.value, d.subject, d.source)
+            for d in recovered.findings
+        )
+        assert recovered_rows == original
+
+    def test_synthetic_rule_anchor_does_not_become_a_subject(self):
+        report = LintReport()
+        report.add("FT215", "no subject here", Severity.INFO)
+        recovered = report_from_sarif(report_to_sarif(report))
+        assert recovered.findings[0].subject == ""
