@@ -182,6 +182,60 @@ def test_campaign_disabled_overhead_below_five_percent():
     )
 
 
+def build_causal_workload():
+    problem = random_bus_problem(**CAMPAIGN_PROBLEM)
+    result = Solution1Scheduler(problem).run()
+    from repro.sim import FailureScenario
+
+    scenario = FailureScenario.crash("P2", result.makespan * 0.3)
+    nominal = simulate(result.schedule)
+    faulty = simulate(result.schedule, scenario)
+    return result.schedule, scenario, nominal, faulty
+
+
+def run_causal_workload(schedule, scenario, nominal, faulty) -> None:
+    from repro.obs.causal import analyze_trace
+
+    analyze_trace(
+        faulty, schedule, scenario=scenario, nominal=nominal,
+        method="solution1",
+    )
+
+
+def test_causal_disabled_overhead_below_five_percent():
+    """The A6 discipline applied to the causal analyzer.
+
+    ``analyze_trace`` fires ``causal.*`` counters and a span on the
+    ambient instrumentation; with capture disabled those points must
+    stay within the 5% budget of the analysis itself.
+    """
+    workload = build_causal_workload()
+
+    proxy = CallCountingInstrumentation()
+    previous = install(proxy)
+    try:
+        run_causal_workload(*workload)
+    finally:
+        install(previous)
+    calls = proxy.calls
+    assert calls > 0  # the analyzer is genuinely instrumented
+
+    per_call = per_call_disabled_cost()
+    run_seconds = best_of(lambda: run_causal_workload(*workload), repeats=5)
+    overhead = calls * per_call
+    fraction = overhead / run_seconds
+
+    emit(
+        f"A6 - causal ambient-instrumentation overhead: {calls} calls x "
+        f"{per_call * 1e9:.0f}ns = {overhead * 1e6:.1f}us over a "
+        f"{run_seconds * 1e3:.2f}ms analysis = {100 * fraction:.2f}%"
+    )
+    assert fraction < 0.05, (
+        f"causal-level instrumentation costs {100 * fraction:.1f}% of "
+        f"the analysis run time (budget: 5%)"
+    )
+
+
 def test_enabled_vs_disabled_ab(benchmark):
     """Informational: what full profiling costs (not asserted)."""
     problem = random_bus_problem(**PROBLEM)

@@ -16,7 +16,7 @@ Two renderers are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.schedule import Schedule
 from ..sim.trace import IterationTrace
@@ -101,6 +101,7 @@ def render_trace(
     trace: IterationTrace,
     width: int = 72,
     annotations: Optional[Sequence[str]] = None,
+    highlight: Optional[Mapping[str, Sequence[Tuple[float, float]]]] = None,
 ) -> str:
     """Render a simulated iteration as an ASCII Gantt chart.
 
@@ -108,6 +109,10 @@ def render_trace(
     aborted executions ``!``.  Extra ``annotations`` lines (e.g. a
     campaign failure diagnosis) are appended below the detections so a
     failing trace and its explanation travel as one artifact.
+
+    ``highlight`` maps unit names (processors or links) to time
+    intervals to underline with ``^`` marks — the causal analysis uses
+    it to overlay the critical path onto the chart.
     """
     # The horizon must cover *every* drawn record — aborted executions
     # and lost frames included (trace.makespan counts only completed
@@ -129,6 +134,15 @@ def render_trace(
         header += ", INCOMPLETE (some outputs never produced)"
     lines = [header]
 
+    def _underline(unit: str) -> None:
+        spans = (highlight or {}).get(unit)
+        if not spans:
+            return
+        canvas: List[str] = []
+        for start, end in spans:
+            _paint(canvas, start, end, scale, "^" * width)
+        lines.append(" " * (indent - 2) + "| " + "".join(canvas))
+
     for proc in procs:
         canvas: List[str] = []
         for record in trace.executions_on(proc):
@@ -136,6 +150,7 @@ def render_trace(
             label = f"[{record.op}{mark}" + "#" * width
             _paint(canvas, record.start, record.end, scale, label)
         lines.append(f"{proc:<{indent - 2}}| " + "".join(canvas))
+        _underline(proc)
     for link in links:
         canvas = []
         for frame in trace.frames_on(link):
@@ -144,6 +159,7 @@ def render_trace(
             label = f"[{frame.dependency[0]}>{frame.dependency[1]}{mark}" + "." * width
             _paint(canvas, frame.start, frame.end, scale, label)
         lines.append(f"{link:<{indent - 2}}| " + "".join(canvas))
+        _underline(link)
 
     for detection in trace.detections:
         lines.append(f"  detection: {detection}")

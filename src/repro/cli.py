@@ -220,11 +220,15 @@ def _obs_session(args: argparse.Namespace):
         return
     with instrumented() as instr:
         yield instr
-    count = instr.tracer.write_chrome_trace(obs_out)
-    print(
-        f"wrote {count} trace events to {obs_out} "
-        "(open in ui.perfetto.dev or chrome://tracing)"
-    )
+    if obs_out.endswith(".jsonl"):
+        count = instr.tracer.export_jsonl(obs_out)
+        print(f"wrote {count} span records to {obs_out} (JSONL, one per line)")
+    else:
+        count = instr.tracer.write_chrome_trace(obs_out)
+        print(
+            f"wrote {count} trace events to {obs_out} "
+            "(open in ui.perfetto.dev or chrome://tracing)"
+        )
 
 
 def _run_method(
@@ -265,6 +269,25 @@ def _parse_crash(text: str) -> FailureScenario:
         processor, _, date = text.partition("@")
         return FailureScenario.crash(processor, float(date))
     return FailureScenario.dead_from_start(text)
+
+
+def _parse_scenario(text: str) -> FailureScenario:
+    """``none`` | one or more crash specs: ``P2@3.0,P4@1.5``."""
+    text = text.strip()
+    if not text or text == "none":
+        return FailureScenario.none()
+    parts = [chunk.strip() for chunk in text.split(",") if chunk.strip()]
+    if len(parts) == 1:
+        return _parse_crash(parts[0])
+    crashes = []
+    known: set = set()
+    for part in parts:
+        single = _parse_crash(part)
+        crashes.extend(single.crashes)
+        known.update(single.known_failed)
+    return FailureScenario(
+        crashes=tuple(crashes), known_failed=frozenset(known), name=text
+    )
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -637,11 +660,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(instr.tracer.render_summary())
     if args.obs_out:
-        count = instr.tracer.write_chrome_trace(args.obs_out)
-        print(
-            f"wrote {count} trace events to {args.obs_out} "
-            "(open in ui.perfetto.dev or chrome://tracing)"
-        )
+        if args.obs_out.endswith(".jsonl"):
+            count = instr.tracer.export_jsonl(args.obs_out)
+            print(
+                f"wrote {count} span records to {args.obs_out} "
+                "(JSONL, one per line)"
+            )
+        else:
+            count = instr.tracer.write_chrome_trace(args.obs_out)
+            print(
+                f"wrote {count} trace events to {args.obs_out} "
+                "(open in ui.perfetto.dev or chrome://tracing)"
+            )
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             if args.metrics_out.endswith(".csv"):
@@ -657,6 +687,30 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     problem = _resolve_problem(args)
     method = args.method if args.method != "auto" else _auto_method(problem)
     result = _run_method_args(problem, method, args)
+
+    if args.diff:
+        # Behavioural mode: align two simulated runs of this schedule
+        # and explain where (and why) they diverge.
+        from .obs.causal import diff_traces
+
+        try:
+            nominal_scenario = _parse_scenario(args.diff[0])
+            faulty_scenario = _parse_scenario(args.diff[1])
+        except ValueError as error:
+            print(f"error: bad crash spec: {error}", file=sys.stderr)
+            return 2
+        schedule = result.schedule
+        try:
+            nominal = simulate(schedule, nominal_scenario)
+            faulty = simulate(schedule, faulty_scenario)
+        except ValueError as error:
+            print(f"error: bad crash spec: {error}", file=sys.stderr)
+            return 2
+        diff = diff_traces(nominal, faulty, schedule, faulty_scenario)
+        print(f"method: {method}  makespan: {result.makespan:g}")
+        print(diff.render())
+        return 0
+
     log = result.decisions
     if log is None or not log.records:
         print(
@@ -676,6 +730,75 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     else:
         print(f"method: {method}  makespan: {result.makespan:g}")
         print(log.render(verbose=args.full))
+        messages = result.schedule.inter_processor_message_count()
+        if messages == 0:
+            print(
+                "communications: none — every data dependency stays "
+                "processor-local, so there are no frames and no timeout "
+                "ladders to explain"
+            )
+        else:
+            print(
+                f"communications: {messages} inter-processor message(s) "
+                f"scheduled across "
+                f"{len(result.schedule.problem.architecture.link_names)} "
+                "link(s)"
+            )
+    return 0
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    from .obs.causal import analyze_trace, critical_overlay, save_report
+
+    if args.repro:
+        # Replay a committed reproducer: its problem, method, scenario.
+        from .obs.campaign import (
+            load_reproducer,
+            problem_from_spec,
+            scenario_from_dict,
+        )
+
+        try:
+            reproducer = load_reproducer(args.repro)
+            problem = problem_from_spec(reproducer["problem"])
+            scenario = scenario_from_dict(reproducer["scenario"])
+            method = reproducer["method"]
+        except (OSError, KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        problem = _resolve_problem(args)
+        method = args.method if args.method != "auto" else _auto_method(problem)
+        try:
+            scenario = _parse_scenario(",".join(args.crash))
+        except ValueError as error:
+            print(f"error: bad crash spec: {error}", file=sys.stderr)
+            return 2
+
+    result = _run_method_args(problem, method, args)
+    schedule = result.schedule
+    try:
+        trace = simulate(schedule, scenario)
+        nominal = None
+        if scenario.crashes or scenario.link_crashes or scenario.known_failed:
+            nominal = simulate(schedule, FailureScenario.none())
+    except ValueError as error:
+        print(f"error: bad crash spec: {error}", file=sys.stderr)
+        return 2
+    report = analyze_trace(
+        trace, schedule, scenario=scenario, nominal=nominal, method=method
+    )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(full=args.full))
+        if args.gantt:
+            print()
+            print(critical_overlay(trace, report))
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out} ({report.to_dict()['schema']})")
     return 0
 
 
@@ -1239,7 +1362,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="include every candidate evaluation and timeout entry",
     )
+    p_explain.add_argument(
+        "--diff", nargs=2, metavar=("NOMINAL", "FAULTY"), default=None,
+        help="simulate two crash scenarios ('none' or specs like "
+        "'P2@3.0,P4@1.5') and explain where the runs diverge",
+    )
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_causal = sub.add_parser(
+        "causal",
+        help="causal analysis of a simulated iteration: event graph, "
+        "critical-path attribution, latency breakdown, fault cost",
+    )
+    add_paper_target(p_causal)
+    p_causal.add_argument(
+        "--crash", action="append", default=[], metavar="PROC[@T]",
+        help="crash scenario, e.g. P2@3.0 (repeat for multiple crashes); "
+        "any crash also triggers the fault-cost and diff analyses "
+        "against the failure-free run",
+    )
+    p_causal.add_argument(
+        "--repro", default="", metavar="FILE",
+        help="replay a committed reproducer JSON (its problem, method "
+        "and crash scenario) instead of PROBLEM/--paper/--crash",
+    )
+    p_causal.add_argument("--json", action="store_true")
+    p_causal.add_argument(
+        "--out", default="", metavar="FILE",
+        help="write the analysis as a repro.obs.causal/1 JSON artifact",
+    )
+    p_causal.add_argument(
+        "--gantt", action="store_true",
+        help="overlay the critical path onto the trace Gantt chart",
+    )
+    p_causal.add_argument(
+        "--full", action="store_true",
+        help="include the per-event local-slack table",
+    )
+    p_causal.set_defaults(func=_cmd_causal)
 
     p_lint = sub.add_parser(
         "lint",

@@ -386,6 +386,77 @@ def lint_proof_paper_examples(obs, failures: int) -> Dict[str, Metric]:
 
 
 @scenario(
+    "causal.paper_examples",
+    "Causal analysis of both paper examples under a transient crash: "
+    "graph size, path shape, latency breakdown, fault cost",
+    suites=("quick", "full"),
+    crash_at=3.0,
+)
+def causal_paper_examples(obs, crash_at: float) -> Dict[str, Metric]:
+    # Import here: repro.obs.bench must stay importable without pulling
+    # the causal subsystem (same leaf discipline as repro.obs).
+    from ..causal import analyze_trace
+
+    targets = (
+        ("paper:first", examples.first_example_problem(failures=1),
+         schedule_solution1),
+        ("paper:second", examples.second_example_problem(failures=1),
+         schedule_solution2),
+    )
+    started = time.perf_counter()
+    reports = []
+    for label, problem, method in targets:
+        schedule = method(problem).schedule
+        nominal = simulate(schedule, FailureScenario.none())
+        scenario_ = FailureScenario.crash("P2", crash_at)
+        faulty = simulate(schedule, scenario_)
+        report = analyze_trace(
+            faulty, schedule, scenario=scenario_, nominal=nominal,
+            method=method.__name__,
+        )
+        if abs(report.path.total - faulty.makespan) > 1e-6:
+            raise RuntimeError(
+                f"{label}: critical path does not sum to the makespan"
+            )
+        reports.append(report)
+    wall = time.perf_counter() - started
+    return {
+        # All deterministic: the schedules, traces, and graphs are
+        # functions of the problems alone.
+        "graph_nodes": Metric(
+            sum(len(r.graph.nodes) for r in reports),
+            unit="events", direction="exact", kind="counter",
+        ),
+        "graph_edges": Metric(
+            sum(len(r.graph.edges) for r in reports),
+            unit="edges", direction="exact", kind="counter",
+        ),
+        "path_segments": Metric(
+            sum(len(r.path.segments) for r in reports),
+            unit="segments", direction="exact", kind="counter",
+        ),
+        "timeout_wait": Metric(
+            sum(r.breakdown.get("timeout-wait", 0.0) for r in reports),
+            unit="time", direction="exact",
+        ),
+        "fault_cost_attributed": Metric(
+            sum(
+                r.fault_cost.attributed for r in reports
+                if r.fault_cost is not None
+            ),
+            unit="time", direction="exact",
+        ),
+        "diff_events": Metric(
+            sum(len(r.diff.events) for r in reports if r.diff is not None),
+            unit="events", direction="exact", kind="counter",
+        ),
+        "causal_wall_s": Metric(
+            wall, unit="s", direction="lower", kind="timing", noise=0.75,
+        ),
+    }
+
+
+@scenario(
     "schedule.random24.solution1",
     "Solution 1 on a 24-operation random bus workload (scalability probe)",
     suites=("full",),

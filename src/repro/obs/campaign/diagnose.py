@@ -33,6 +33,10 @@ from ...sim.trace import FrameRecord, IterationTrace
 # consistent by construction.
 from ...sim.verify import _availability as availability_map
 
+# The nominal-vs-fault differ (repro.obs.causal is a sibling leaf of
+# the obs tree: it imports core+sim only, so this edge is acyclic).
+from ..causal.diff import TraceDiff, diff_traces
+
 __all__ = [
     "SenderCandidate",
     "LadderEntryReport",
@@ -156,6 +160,10 @@ class Diagnosis:
     #: starved survivors' ops: includes ops whose every replica host
     #: crashed).
     never_executed: List[str] = field(default_factory=list)
+    #: Nominal-vs-fault trace diff (present when a nominal trace was
+    #: supplied): the first divergence and the causal frontier it
+    #: poisons, rooting the starvation account in a concrete event.
+    divergence: Optional[TraceDiff] = None
 
     @property
     def ok(self) -> bool:
@@ -168,6 +176,10 @@ class Diagnosis:
             "missing_outputs": list(self.missing_outputs),
             "never_executed": list(self.never_executed),
             "starved": [replica.to_dict() for replica in self.starved],
+            "divergence": (
+                self.divergence.to_dict()
+                if self.divergence is not None else None
+            ),
         }
 
     def render(self) -> str:
@@ -229,6 +241,8 @@ class Diagnosis:
                     f"  blocked behind it on {replica.processor}: "
                     + ", ".join(replica.blocked_behind)
                 )
+        if self.divergence is not None and not self.divergence.identical:
+            lines.append(self.divergence.render())
         return "\n".join(lines)
 
 
@@ -239,8 +253,14 @@ def diagnose(
     trace: IterationTrace,
     schedule: Schedule,
     scenario: Optional[FailureScenario] = None,
+    nominal: Optional[IterationTrace] = None,
 ) -> Diagnosis:
-    """Explain why ``trace`` starved, in terms of the static schedule."""
+    """Explain why ``trace`` starved, in terms of the static schedule.
+
+    With a ``nominal`` (fault-free) trace of the same schedule, the
+    diagnosis also carries the nominal-vs-fault divergence account —
+    which event first went wrong and the causal frontier it poisoned.
+    """
     scenario = scenario or FailureScenario.none()
     available = availability_map(trace)
     completed_on = {
@@ -305,6 +325,11 @@ def diagnose(
             if starved.missing:
                 diagnosis.starved.append(starved)
             break  # only the head blocks; don't re-diagnose collateral
+
+    if nominal is not None and nominal is not trace:
+        diagnosis.divergence = diff_traces(
+            nominal, trace, schedule, scenario
+        )
     return diagnosis
 
 

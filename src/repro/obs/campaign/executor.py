@@ -164,7 +164,10 @@ def execute_scenario(
         diag_trace = (
             trace if minimized is scenario else simulate(schedule, minimized)
         )
-        report = diagnose(diag_trace, schedule, minimized)
+        # A fault-free run of the same schedule roots the diagnosis in
+        # the first divergence instead of just the starvation endpoint.
+        nominal = simulate(schedule, FailureScenario.none())
+        report = diagnose(diag_trace, schedule, minimized, nominal=nominal)
         outcome.diagnosis = {
             "text": report.render(),
             "data": report.to_dict(),

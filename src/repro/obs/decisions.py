@@ -262,4 +262,14 @@ class DecisionLog:
             f"{len(self.records)} decision(s), {ties} with arbitrary "
             f"tie-break(s); tie-break policy: {self.tie_break}"
         )
+        if self.timeouts:
+            watchers = sorted({note.watcher for note in self.timeouts})
+            footer += (
+                f"\n{len(self.timeouts)} timeout-table line(s) across "
+                f"{len(watchers)} watcher(s): {', '.join(watchers)}"
+            )
+        else:
+            footer += (
+                "\nno timeout table: no backup here waits on a remote frame"
+            )
         return "\n".join(blocks + [footer])

@@ -239,3 +239,33 @@ class Tracer:
                 f"{record.depth},{args}"
             )
         return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        """One span per line as a self-describing JSON object.
+
+        JSONL streams concatenate: a campaign can append each
+        scenario's spans to one file and grep/parse it incrementally,
+        which neither the Chrome array (one document) nor CSV (header
+        row) allows.
+        """
+        lines = []
+        for record in self.spans:
+            lines.append(json.dumps({
+                "name": record.name,
+                "start_s": round(record.start, 9),
+                "duration_s": round(record.duration, 9),
+                "thread": record.thread,
+                "depth": record.depth,
+                "args": dict(record.args),
+            }, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_jsonl(self, path: str, append: bool = False) -> int:
+        """Write (or with ``append=True``, extend) a JSONL span file.
+
+        Returns the number of spans written.
+        """
+        payload = self.to_jsonl()
+        with open(path, "a" if append else "w") as handle:
+            handle.write(payload)
+        return payload.count("\n")

@@ -58,6 +58,11 @@ MODULES = [
     "repro.obs.campaign.executor",
     "repro.obs.campaign.diagnose",
     "repro.obs.campaign.report",
+    "repro.obs.causal",
+    "repro.obs.causal.graph",
+    "repro.obs.causal.critical",
+    "repro.obs.causal.diff",
+    "repro.obs.causal.report",
     "repro.lint",
     "repro.lint.model",
     "repro.lint.registry",
