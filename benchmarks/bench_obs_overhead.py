@@ -236,6 +236,106 @@ def test_causal_disabled_overhead_below_five_percent():
     )
 
 
+def run_ledger_workload(problem) -> None:
+    """The CLI recording path: schedule + simulate + ledger hooks.
+
+    Mirrors what ``repro schedule`` fires per invocation: one problem
+    note, one schedule note, one metric note, one artifact
+    notification.  With no ledger session active every hook must
+    reduce to a ``None`` check.
+    """
+    from repro.obs.ledger.session import (
+        note_metric,
+        note_problem,
+        note_schedule,
+        notify_artifact,
+    )
+
+    note_problem(problem)
+    result = Solution1Scheduler(problem).run()
+    note_schedule(result.schedule)
+    note_metric("makespan", result.makespan, unit="time")
+    simulate(result.schedule)
+    notify_artifact("bench", "does-not-exist.json")
+
+
+def per_call_disabled_ledger_cost() -> float:
+    """Seconds per ledger hook call with no session active."""
+    from repro.obs.ledger.session import (
+        current_session,
+        note_metric,
+        notify_artifact,
+    )
+
+    assert current_session() is None
+
+    def one_batch() -> None:
+        for _ in range(1000):
+            note_metric("bench.noop", 1.0)
+            notify_artifact("noop", "x")
+
+    # Each batch is 2000 hook calls; both reduce to one global read
+    # and a None comparison when the ledger is off.
+    return best_of(one_batch, repeats=20) / 2000
+
+
+def test_ledger_disabled_overhead_below_five_percent():
+    """The A6 discipline applied to the run-ledger hooks.
+
+    Recording costs what it costs (hashing, blob copies) — but only
+    inside ``--ledger`` / ``REPRO_LEDGER`` runs.  The default path
+    pays a ``None`` check per hook, and the hooks per run are few
+    (problem, schedule, metrics, artifacts), so the budget is the
+    same 5% the instrumentation points honor.
+    """
+    from repro.obs.ledger import session as ledger_session_module
+
+    problem = random_bus_problem(**PROBLEM)
+
+    class CountingSession:
+        """Counts hook dispatches, records nothing."""
+
+        def __init__(self) -> None:
+            self.calls = 0
+
+        def note_problem(self, problem):
+            self.calls += 1
+
+        def note_schedule(self, schedule):
+            self.calls += 1
+
+        def note_metric(self, name, value, **kwargs):
+            self.calls += 1
+
+        def add_artifact(self, kind, path):
+            self.calls += 1
+
+    stub = CountingSession()
+    previous = ledger_session_module._SESSION
+    ledger_session_module._SESSION = stub
+    try:
+        run_ledger_workload(problem)
+    finally:
+        ledger_session_module._SESSION = previous
+    calls = stub.calls
+    assert calls >= 4  # problem + schedule + metric + artifact
+
+    per_call = per_call_disabled_ledger_cost()
+    run_seconds = best_of(lambda: run_ledger_workload(problem), repeats=5)
+    overhead = calls * per_call
+    fraction = overhead / run_seconds
+
+    emit(
+        f"A6 - ledger-off hook overhead: {calls} calls x "
+        f"{per_call * 1e9:.0f}ns = {overhead * 1e6:.2f}us over a "
+        f"{run_seconds * 1e3:.2f}ms run = {100 * fraction:.4f}%"
+    )
+    assert fraction < 0.05, (
+        f"disabled ledger hooks cost {100 * fraction:.1f}% of the "
+        f"run time (budget: 5%)"
+    )
+
+
 def test_enabled_vs_disabled_ab(benchmark):
     """Informational: what full profiling costs (not asserted)."""
     problem = random_bus_problem(**PROBLEM)

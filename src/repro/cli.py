@@ -28,6 +28,15 @@ Usage (installed as ``repro-scheduler``, or ``python -m repro``):
         [--repro FILE] [--jobs N] [--out CAMPAIGN.json] [--html page.html] \
         [--artifacts DIR] [--max-scenarios N]
     repro-scheduler campaign report CAMPAIGN.json [--out page.html]
+    repro-scheduler [--ledger|--ledger-dir DIR] COMMAND ...
+    repro-scheduler runs list [--problem HASH] [--command C] [--verdict v] \
+        [--since T] [--until T] [--limit N]
+    repro-scheduler runs show RUN [--json]
+    repro-scheduler runs diff [BASELINE CURRENT] [--timings] [--noise-scale X]
+    repro-scheduler runs drift [--timings]
+    repro-scheduler runs query [filters] (JSON lines)
+    repro-scheduler runs gc [--keep N] [--before T] [--dry-run]
+    repro-scheduler runs report [--out ledger_dashboard.html]
     repro-scheduler advise PROBLEM
     repro-scheduler paper [--which first|second|all] [--gantt]
     repro-scheduler figures OUTDIR
@@ -67,6 +76,17 @@ under every ≤K crash subset — SAFE emits a machine-checkable
 ``repro.lint.proof/1`` artifact, UNSAFE a campaign-replayable
 counterexample; ``certify --prove`` folds the FT4xx findings into the
 certification gate; see ``docs/lint.md``.
+
+Run ledger: with ``--ledger`` (or ``REPRO_LEDGER=1``, or
+``--ledger-dir DIR``) every invocation is recorded in an append-only,
+content-addressed ledger under ``.repro/ledger/`` — command, canonical
+problem/schedule hashes, environment fingerprint, metrics, exit code,
+and every written artifact deduplicated by digest.  ``repro runs``
+queries the history: ``list``/``show``/``query`` browse it, ``diff``
+compares two runs with the direction-aware bench comparator (exit 1 on
+regression), ``drift`` scans every problem lineage, ``gc`` applies
+retention, ``report`` renders the longitudinal HTML dashboard; see
+``docs/ledger.md``.
 """
 
 from __future__ import annotations
@@ -74,6 +94,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import re
 import sys
 from contextlib import contextmanager
@@ -115,6 +136,7 @@ from .lint import (
     report_to_sarif,
 )
 from .obs import instrumented
+from .obs.ledger.session import note_metric, note_problem, note_schedule
 from .paper import examples, expected
 from .sim import FailureScenario, simulate, simulate_sequence
 
@@ -146,8 +168,11 @@ def _load_any(path: str) -> Problem:
     """
     try:
         if path.endswith(".aaa"):
-            return load_problem_text(path)
-        return load_problem(path)
+            problem = load_problem_text(path)
+        else:
+            problem = load_problem(path)
+        note_problem(problem)
+        return problem
     except OSError as error:
         raise SystemExit(f"error: cannot read {path}: {error}")
     except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
@@ -162,7 +187,9 @@ def _load_any(path: str) -> Problem:
 def _resolve_problem(args: argparse.Namespace) -> Problem:
     """A problem from the optional positional file or ``--paper`` alias."""
     if getattr(args, "paper", ""):
-        return _PAPER_ALIASES[args.paper](failures=1)
+        problem = _PAPER_ALIASES[args.paper](failures=1)
+        note_problem(problem)
+        return problem
     if getattr(args, "problem", None):
         return _load_any(args.problem)
     raise SystemExit("error: give a PROBLEM file or --paper fig17|fig22")
@@ -240,14 +267,21 @@ def _run_method(
 ) -> ScheduleResult:
     scheduler_class = _METHODS[method]
     if best_of > 0:
-        return best_over_seeds(
+        result = best_over_seeds(
             scheduler_class,
             problem,
             attempts=best_of,
             jobs=jobs,
             use_eval_cache=eval_cache,
         )
-    return scheduler_class(problem, use_eval_cache=eval_cache).run()
+    else:
+        result = scheduler_class(problem, use_eval_cache=eval_cache).run()
+    # Provenance for the run ledger (no-ops unless --ledger is on):
+    # the canonical hash of what was produced and the paper's primary
+    # quality number, comparator-ready.
+    note_schedule(result.schedule)
+    note_metric("makespan", result.makespan, unit="time", noise=0.0)
+    return result
 
 
 def _run_method_args(
@@ -517,6 +551,14 @@ def _cmd_prove(args: argparse.Namespace) -> int:
         f"evaluations: {proof.evaluations}  "
         f"classes collapsed: {proof.classes_collapsed}  "
         f"witness depth: {proof.witness_depth}"
+    )
+    note_metric(
+        "proof.subsets_checked", float(proof.subsets_checked),
+        direction="exact", kind="counter",
+    )
+    note_metric(
+        "proof.evaluations", float(proof.evaluations),
+        direction="exact", kind="counter",
     )
     by_status = {"proven": [], "local": [], "refuted": []}
     for witness in proof.dependencies:
@@ -1100,6 +1142,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(error, file=sys.stderr)
             return 2
         for label, problem, method, spec in targets:
+            note_problem(problem)
             schedule = _run_method_args(problem, method, args).schedule
             space = enumerate_space(
                 schedule,
@@ -1138,6 +1181,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.artifacts:
         written = _write_campaign_artifacts(args.artifacts, results)
         print(f"wrote {written} failure artifact(s) to {args.artifacts}/")
+    executed = sum(len(result.outcomes) for result in results)
+    if executed:
+        passed = sum(len(result.passed) for result in results)
+        note_metric(
+            "campaign.pass_rate", passed / executed,
+            direction="higher", noise=0.0,
+        )
+        note_metric(
+            "campaign.scenarios", float(executed),
+            direction="exact", kind="counter",
+        )
     return 0 if all(result.all_passed for result in results) else 1
 
 
@@ -1159,6 +1213,299 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0 if all(result.all_passed for result in results) else 1
 
 
+# ----------------------------------------------------------------------
+# The run ledger: the global recording hook and the `runs` commands
+# ----------------------------------------------------------------------
+_LEDGER_OFF = ("0", "false", "no", "off")
+_LEDGER_ON = ("1", "true", "yes", "on")
+
+
+def _ledger_dir(args: argparse.Namespace) -> Optional[str]:
+    """The ledger directory to record into, or ``None`` when off.
+
+    Precedence: ``--ledger-dir DIR`` > ``--ledger`` (default dir) >
+    ``REPRO_LEDGER`` (off-words disable; on-words pick the default
+    dir; anything else *is* the dir).  ``repro runs`` itself is never
+    recorded — querying history must not grow it.
+    """
+    if getattr(args, "command", "") == "runs":
+        return None
+    from .obs.ledger import DEFAULT_LEDGER_DIR
+
+    if getattr(args, "ledger_dir", ""):
+        return args.ledger_dir
+    if getattr(args, "ledger", False):
+        return DEFAULT_LEDGER_DIR
+    env = os.environ.get("REPRO_LEDGER", "").strip()
+    if not env or env.lower() in _LEDGER_OFF:
+        return None
+    if env.lower() in _LEDGER_ON:
+        return DEFAULT_LEDGER_DIR
+    return env
+
+
+def _ledger_command(args: argparse.Namespace) -> str:
+    """``schedule``, ``bench run``, ``campaign run``, ... for the record."""
+    parts = [args.command]
+    for attribute in ("bench_command", "campaign_command"):
+        sub = getattr(args, attribute, "")
+        if sub:
+            parts.append(sub)
+    return " ".join(parts)
+
+
+def _ledger_argv(argv: Optional[List[str]]) -> List[str]:
+    """The recorded argv: the real one minus the ledger's own flags
+    (two runs differing only in where they logged are the same run)."""
+    raw = list(argv) if argv is not None else list(sys.argv[1:])
+    cleaned: List[str] = []
+    skip = False
+    for token in raw:
+        if skip:
+            skip = False
+            continue
+        if token == "--ledger":
+            continue
+        if token in ("--ledger-dir", "--ledger-label"):
+            skip = True
+            continue
+        if token.startswith("--ledger-dir=") or token.startswith(
+            "--ledger-label="
+        ):
+            continue
+        cleaned.append(token)
+    return cleaned
+
+
+def _main_with_ledger(
+    args: argparse.Namespace, argv: Optional[List[str]], ledger_dir: str
+) -> int:
+    """Run the command inside a recording ledger session.
+
+    The whole command executes under a (nested-safe) instrumentation
+    session so the record carries the full obs-registry snapshot; the
+    exit code is captured even when the command leaves via
+    ``SystemExit`` (argument errors, unreadable files).
+    """
+    from .obs.ledger import LedgerStore, ledger_session
+
+    store = LedgerStore(ledger_dir)
+    exit_code = 2
+    obs_snapshot: dict = {}
+    error: Optional[SystemExit] = None
+    with ledger_session(
+        store,
+        _ledger_command(args),
+        argv=_ledger_argv(argv),
+        label=getattr(args, "ledger_label", ""),
+    ) as session:
+        try:
+            with instrumented() as instr:
+                with _obs_session(args):
+                    exit_code = int(args.func(args) or 0)
+                obs_snapshot = instr.registry.to_dict()
+        except SystemExit as exc:
+            code = exc.code
+            # Match the interpreter: None exits 0, any non-int
+            # message (e.g. ``SystemExit("error: ...")``) exits 1.
+            exit_code = (
+                code if isinstance(code, int)
+                else 0 if code is None else 1
+            )
+            error = exc
+        session.finish(exit_code, obs_snapshot)
+        print(
+            f"ledger: recorded run {session.record.run_id} "
+            f"in {store.root}",
+            file=sys.stderr,
+        )
+    if error is not None:
+        raise error
+    return exit_code
+
+
+def _runs_store(args: argparse.Namespace):
+    """The store a ``runs`` command reads: --dir > REPRO_LEDGER > default."""
+    from .obs.ledger import DEFAULT_LEDGER_DIR, LedgerStore
+
+    directory = getattr(args, "dir", "")
+    if not directory:
+        env = os.environ.get("REPRO_LEDGER", "").strip()
+        if env and env.lower() not in _LEDGER_OFF + _LEDGER_ON:
+            directory = env
+    return LedgerStore(directory or DEFAULT_LEDGER_DIR)
+
+
+def _runs_filter(args: argparse.Namespace):
+    from .obs.ledger import RunFilter
+
+    return RunFilter(
+        problem=getattr(args, "problem", ""),
+        command=getattr(args, "cmd", ""),
+        verdict=getattr(args, "verdict", ""),
+        since=getattr(args, "since", ""),
+        until=getattr(args, "until", ""),
+        label=getattr(args, "label", ""),
+        limit=getattr(args, "limit", None),
+    )
+
+
+def _error_text(error: BaseException) -> str:
+    """``str(KeyError)`` wraps its message in quotes; unwrap it."""
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
+def _runs_records(args: argparse.Namespace):
+    """(store, filtered records) for a ``runs`` command; exits 2 on a
+    missing/corrupt ledger."""
+    from .obs.ledger import filter_records
+
+    store = _runs_store(args)
+    try:
+        records = list(store.records())
+    except (OSError, ValueError, KeyError) as error:
+        raise SystemExit(f"error: {_error_text(error)}")
+    return store, filter_records(records, _runs_filter(args))
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from .obs.ledger import runs_table
+
+    store, records = _runs_records(args)
+    if not records:
+        print(
+            f"no runs recorded in {store.root} (record one with "
+            "`repro --ledger COMMAND ...` or REPRO_LEDGER=1)"
+        )
+        return 0
+    print(runs_table(records).render())
+    print(f"{len(records)} run(s) in {store.root}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from .obs.ledger import render_record
+
+    store = _runs_store(args)
+    try:
+        record = store.load(args.run)
+    except (KeyError, ValueError) as error:
+        print(f"error: {_error_text(error)}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_record(record))
+    return 0
+
+
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    _, records = _runs_records(args)
+    for record in records:
+        print(json.dumps(record.to_dict(), sort_keys=True))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from .obs.ledger import diff_records
+
+    store = _runs_store(args)
+    baseline_ref, current_ref = args.baseline, args.current
+    if not baseline_ref and not current_ref:
+        newest = store.run_ids()[-2:]
+        if len(newest) < 2:
+            print(
+                "error: need two recorded runs to diff "
+                f"({len(newest)} in {store.root})",
+                file=sys.stderr,
+            )
+            return 2
+        baseline_ref, current_ref = newest
+    elif not current_ref:
+        print(
+            "error: runs diff takes zero run ids (newest two) or two",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = store.load(baseline_ref)
+        current = store.load(current_ref)
+    except (KeyError, ValueError) as error:
+        print(f"error: {_error_text(error)}", file=sys.stderr)
+        return 2
+    if (
+        baseline.problem_hash
+        and current.problem_hash
+        and baseline.problem_hash != current.problem_hash
+    ):
+        print(
+            "note: the two runs hash different problems "
+            f"({baseline.problem_hash[:12]} vs "
+            f"{current.problem_hash[:12]}); metric deltas compare "
+            "apples to oranges",
+        )
+    if baseline.command != current.command:
+        print(
+            f"note: the two runs ran different commands "
+            f"({baseline.command!r} vs {current.command!r}); metric "
+            "deltas compare apples to oranges",
+        )
+    report = diff_records(
+        baseline,
+        current,
+        include_timings=args.timings,
+        noise_scale=args.noise_scale,
+    )
+    print(report.render())
+    return report.gate(fail_on_removed=not args.allow_removed)
+
+
+def _cmd_runs_drift(args: argparse.Namespace) -> int:
+    from .obs.ledger import detect_drift
+
+    _, records = _runs_records(args)
+    report = detect_drift(
+        records,
+        include_timings=args.timings,
+        noise_scale=args.noise_scale,
+    )
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    store = _runs_store(args)
+    report = store.gc(
+        keep=args.keep, before=args.before, dry_run=args.dry_run
+    )
+    print(report.render())
+    for run_id in report.removed_records:
+        print(f"  record {run_id}")
+    for digest in report.removed_blobs:
+        print(f"  blob sha256:{digest[:16]}")
+    return 0
+
+
+def _cmd_runs_report(args: argparse.Namespace) -> int:
+    from .obs.ledger import render_ledger_dashboard
+
+    store, records = _runs_records(args)
+    if not records:
+        print(
+            f"error: no runs recorded in {store.root}; record some "
+            "with `repro --ledger COMMAND ...` first",
+            file=sys.stderr,
+        )
+        return 2
+    document = render_ledger_dashboard(records, title=args.title)
+    with open(args.out, "w") as handle:
+        handle.write(document)
+    print(f"wrote ledger dashboard over {len(records)} run(s) to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-scheduler",
@@ -1176,6 +1523,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true",
         help="log errors only (overrides -v)",
+    )
+    parser.add_argument(
+        "--ledger", action="store_true",
+        help="record this invocation in the append-only run ledger "
+        "(.repro/ledger/); query with `repro runs`",
+    )
+    parser.add_argument(
+        "--ledger-dir", default="", metavar="DIR",
+        help="record into DIR instead of .repro/ledger (implies "
+        "--ledger); REPRO_LEDGER=1|DIR works without flags",
+    )
+    parser.add_argument(
+        "--ledger-label", default="", metavar="TEXT",
+        help="free-form label stored on the ledger record",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1624,6 +1985,158 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc_report.set_defaults(func=_cmd_campaign_report)
 
+    p_runs = sub.add_parser(
+        "runs",
+        help="query the append-only run ledger: list/show/query history, "
+        "diff two runs, scan for drift, gc, render the dashboard",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def add_runs_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dir", default="", metavar="DIR",
+            help="ledger directory (default: $REPRO_LEDGER if it names "
+            "a directory, else .repro/ledger)",
+        )
+
+    def add_runs_filters(p: argparse.ArgumentParser) -> None:
+        add_runs_dir(p)
+        p.add_argument(
+            "--problem", default="", metavar="HASH",
+            help="keep runs whose problem hash starts with HASH",
+        )
+        p.add_argument(
+            "--command", dest="cmd", default="", metavar="CMD",
+            help="keep runs of one command (e.g. 'schedule', 'bench run')",
+        )
+        p.add_argument(
+            "--verdict", choices=("ok", "fail"), default="",
+            help="keep runs with this outcome",
+        )
+        p.add_argument(
+            "--since", default="", metavar="TIME",
+            help="keep runs created at or after TIME (ISO-8601 UTC, "
+            "prefixes work: 2026-08)",
+        )
+        p.add_argument(
+            "--until", default="", metavar="TIME",
+            help="keep runs created at or before TIME",
+        )
+        p.add_argument(
+            "--label", default="", metavar="TEXT",
+            help="keep runs whose label contains TEXT",
+        )
+        p.add_argument(
+            "--limit", type=int, default=None, metavar="N",
+            help="keep only the newest N matching runs",
+        )
+
+    pr_list = runs_sub.add_parser(
+        "list", help="one line per recorded run, oldest first"
+    )
+    add_runs_filters(pr_list)
+    pr_list.set_defaults(func=_cmd_runs_list)
+
+    pr_show = runs_sub.add_parser(
+        "show", help="everything one record knows (hashes, metrics, "
+        "artifacts)"
+    )
+    add_runs_dir(pr_show)
+    pr_show.add_argument(
+        "run", help="run id or unambiguous prefix (see `runs list`)"
+    )
+    pr_show.add_argument(
+        "--json", action="store_true",
+        help="print the raw repro.obs.ledger/1 record",
+    )
+    pr_show.set_defaults(func=_cmd_runs_show)
+
+    pr_query = runs_sub.add_parser(
+        "query", help="matching records as JSON lines (machine-readable "
+        "`runs list`)"
+    )
+    add_runs_filters(pr_query)
+    pr_query.set_defaults(func=_cmd_runs_query)
+
+    pr_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two runs with the direction-aware bench "
+        "comparator; exit 1 on regression (the CI gate)",
+    )
+    add_runs_dir(pr_diff)
+    pr_diff.add_argument(
+        "baseline", nargs="?", default="",
+        help="baseline run id or prefix (default: second-newest run)",
+    )
+    pr_diff.add_argument(
+        "current", nargs="?", default="",
+        help="current run id or prefix (default: newest run)",
+    )
+    pr_diff.add_argument(
+        "--timings", action="store_true",
+        help="include wall-clock metrics (off by default: identical "
+        "configs must diff clean)",
+    )
+    pr_diff.add_argument(
+        "--noise-scale", type=float, default=1.0, metavar="X",
+        help="multiply every noise threshold by X (2.0 = half as strict)",
+    )
+    pr_diff.add_argument(
+        "--allow-removed", action="store_true",
+        help="do not fail when a tracked metric disappeared",
+    )
+    pr_diff.set_defaults(func=_cmd_runs_diff)
+
+    pr_drift = runs_sub.add_parser(
+        "drift",
+        help="scan every (problem, command) lineage for drift between "
+        "consecutive runs; exit 1 when any drifted",
+    )
+    add_runs_filters(pr_drift)
+    pr_drift.add_argument(
+        "--timings", action="store_true",
+        help="include wall-clock metrics in the drift verdicts",
+    )
+    pr_drift.add_argument(
+        "--noise-scale", type=float, default=1.0, metavar="X",
+        help="multiply every noise threshold by X",
+    )
+    pr_drift.set_defaults(func=_cmd_runs_drift)
+
+    pr_gc = runs_sub.add_parser(
+        "gc", help="apply retention: drop old records, sweep "
+        "unreferenced blobs"
+    )
+    add_runs_dir(pr_gc)
+    pr_gc.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="retain only the newest N records",
+    )
+    pr_gc.add_argument(
+        "--before", default="", metavar="TIME",
+        help="drop records created before TIME (ISO-8601 UTC)",
+    )
+    pr_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting",
+    )
+    pr_gc.set_defaults(func=_cmd_runs_gc)
+
+    pr_report = runs_sub.add_parser(
+        "report", help="render the run history as the longitudinal "
+        "HTML dashboard"
+    )
+    add_runs_filters(pr_report)
+    pr_report.add_argument(
+        "--out", default="ledger_dashboard.html", metavar="FILE",
+        help="output HTML path",
+    )
+    pr_report.add_argument(
+        "--title", default="repro run ledger",
+        help="dashboard page title",
+    )
+    pr_report.set_defaults(func=_cmd_runs_report)
+
     return parser
 
 
@@ -1631,6 +2144,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+    ledger_dir = _ledger_dir(args)
+    if ledger_dir is not None:
+        return _main_with_ledger(args, argv, ledger_dir)
     with _obs_session(args):
         return args.func(args)
 

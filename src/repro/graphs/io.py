@@ -11,10 +11,11 @@ both graphs for documentation.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Mapping, Union
 
 from .algorithm import AlgorithmGraph, Operation, OperationKind
 from .architecture import Architecture, LinkKind
@@ -26,7 +27,10 @@ __all__ = [
     "problem_from_dict",
     "save_problem",
     "load_problem",
+    "canonical_problem_json",
+    "problem_hash",
     "schedule_to_dict",
+    "schedule_hash",
     "algorithm_to_dot",
     "architecture_to_dot",
 ]
@@ -152,6 +156,141 @@ def problem_from_dict(data: Dict[str, Any]) -> Problem:
     )
 
 
+# ----------------------------------------------------------------------
+# Canonical content hashing
+# ----------------------------------------------------------------------
+
+def _canonical_problem_dict(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """The order-insensitive normal form of a problem dict.
+
+    :func:`problem_to_dict` already sorts the execution/communication
+    tables, but the operation, dependency, processor, and link lists
+    come out in insertion order — and a hand-edited problem file may
+    list them in any order at all.  Two problems that load to the same
+    :class:`Problem` must hash identically, so every list is sorted by
+    its identifying fields and every float normalized through the
+    duration codec before hashing.
+    """
+    algorithm = data["algorithm"]
+    architecture = data["architecture"]
+    return {
+        "name": data.get("name", "problem"),
+        "failures": data.get("failures", 0),
+        "deadline": data.get("deadline"),
+        "algorithm": {
+            "name": algorithm.get("name", "algorithm"),
+            "operations": sorted(
+                (
+                    {
+                        "name": op["name"],
+                        "kind": op.get("kind", "comp"),
+                        "initial_value": op.get("initial_value"),
+                    }
+                    for op in algorithm["operations"]
+                ),
+                key=lambda op: op["name"],
+            ),
+            "dependencies": sorted(
+                (
+                    {
+                        "src": dep["src"],
+                        "dst": dep["dst"],
+                        "label": dep.get("label", ""),
+                    }
+                    for dep in algorithm["dependencies"]
+                ),
+                key=lambda dep: (dep["src"], dep["dst"], dep["label"]),
+            ),
+        },
+        "architecture": {
+            "name": architecture.get("name", "architecture"),
+            "processors": sorted(
+                (
+                    {
+                        "name": proc["name"],
+                        "description": proc.get("description", ""),
+                    }
+                    for proc in architecture["processors"]
+                ),
+                key=lambda proc: proc["name"],
+            ),
+            "links": sorted(
+                (
+                    {
+                        "name": link["name"],
+                        "kind": link["kind"],
+                        "endpoints": sorted(link["endpoints"]),
+                    }
+                    for link in architecture["links"]
+                ),
+                key=lambda link: link["name"],
+            ),
+        },
+        "execution": sorted(
+            (
+                {
+                    "op": entry["op"],
+                    "processor": entry["processor"],
+                    "duration": _encode_duration(
+                        _decode_duration(entry["duration"])
+                    ),
+                }
+                for entry in data["execution"]
+            ),
+            key=lambda entry: (entry["op"], entry["processor"]),
+        ),
+        "communication": sorted(
+            (
+                {
+                    "src": entry["src"],
+                    "dst": entry["dst"],
+                    "link": entry["link"],
+                    "duration": float(entry["duration"]),
+                }
+                for entry in data["communication"]
+            ),
+            key=lambda entry: (entry["src"], entry["dst"], entry["link"]),
+        ),
+    }
+
+
+def canonical_problem_json(problem: Union[Problem, Mapping[str, Any]]) -> str:
+    """The canonical serialization a problem is hashed over.
+
+    Accepts a :class:`Problem` or an already-serialized problem dict
+    (any key order, any list order) and produces one byte-stable JSON
+    string: sorted keys, sorted entity lists, no whitespace, ``inf``
+    encoded as ``"inf"``.  Round-trip invariant by construction —
+    ``canonical_problem_json(problem_from_dict(d)) ==
+    canonical_problem_json(d)`` for every valid problem dict ``d``.
+    """
+    data = (
+        problem_to_dict(problem)
+        if isinstance(problem, Problem)
+        else dict(problem)
+    )
+    return json.dumps(
+        _canonical_problem_dict(data),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def problem_hash(problem: Union[Problem, Mapping[str, Any]]) -> str:
+    """The canonical SHA-256 content hash of a problem.
+
+    Bit-stable across process restarts, key reorderings, list
+    reorderings, and save/load round-trips: the hash is taken over
+    :func:`canonical_problem_json`.  This is the identity under which
+    the run ledger (and the future ``repro serve`` memoization cache)
+    recognizes repeated work on the same problem.
+    """
+    return hashlib.sha256(
+        canonical_problem_json(problem).encode("utf-8")
+    ).hexdigest()
+
+
 def save_problem(problem: Problem, path: Union[str, Path]) -> None:
     """Write a problem to a JSON file."""
     Path(path).write_text(
@@ -208,6 +347,38 @@ def schedule_to_dict(schedule) -> Dict[str, Any]:
             for entry in schedule.timeouts
         ],
     }
+
+
+def schedule_hash(schedule) -> str:
+    """The canonical SHA-256 content hash of a schedule.
+
+    Taken over :func:`schedule_to_dict` with every slot list sorted by
+    its identifying fields and keys sorted, so the hash is independent
+    of replica/comm emission order and stable across process restarts.
+    Two schedulers (or two runs of one scheduler) produced the same
+    schedule exactly when their hashes match.
+    """
+    data = schedule_to_dict(schedule)
+    data["replicas"] = sorted(
+        data["replicas"],
+        key=lambda r: (r["op"], r["processor"], r["replica"]),
+    )
+    data["comms"] = sorted(
+        data["comms"],
+        key=lambda c: (c["src"], c["dst"], c["sender"], c["link"], c["start"]),
+    )
+    data["timeouts"] = sorted(
+        (
+            {**entry, "deadline": _encode_duration(entry["deadline"])}
+            for entry in data["timeouts"]
+        ),
+        key=lambda t: (t["op"], t["dependency"], t["watcher"], t["rank"]),
+    )
+    return hashlib.sha256(
+        json.dumps(
+            data, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    ).hexdigest()
 
 
 # ----------------------------------------------------------------------

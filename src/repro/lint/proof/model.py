@@ -289,11 +289,9 @@ class ProofResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ProofResult":
-        schema = data.get("schema")
-        if schema != PROOF_SCHEMA_ID:
-            raise ValueError(
-                f"not a {PROOF_SCHEMA_ID} artifact (schema={schema!r})"
-            )
+        from ...obs.schema import validate_stamp
+
+        validate_stamp(data, PROOF_SCHEMA_ID, required=("verdict",))
         return cls(
             verdict=str(data["verdict"]),
             semantics=str(data.get("semantics", "")),
@@ -328,10 +326,22 @@ class ProofResult:
 
 
 def save_proof(result: ProofResult, path) -> None:
-    """Write a proof artifact as stable, diff-friendly JSON."""
+    """Write a proof artifact as stable, diff-friendly JSON.
+
+    The persisted form adds the shared environment fingerprint (the
+    one bench snapshots, campaign results, and ledger records stamp),
+    so a proof can be traced back to the machine and commit that
+    produced it; :meth:`ProofResult.from_dict` ignores the extra key.
+    """
+    from ...obs.environment import environment_fingerprint
+    from ...obs.ledger.session import notify_artifact
+
+    payload = result.to_dict()
+    payload["environment"] = environment_fingerprint()
     Path(path).write_text(
-        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+    notify_artifact("proof", path)
 
 
 def load_proof(path) -> ProofResult:

@@ -23,12 +23,12 @@ Every metric carries its comparison semantics with it:
 from __future__ import annotations
 
 import json
-import platform
-import subprocess
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..environment import environment_fingerprint, utc_now
+from ..schema import stamp_problems
 
 __all__ = [
     "SCHEMA_ID",
@@ -38,6 +38,7 @@ __all__ = [
     "environment_fingerprint",
     "load_snapshot",
     "save_snapshot",
+    "utc_now",
     "validate_snapshot",
 ]
 
@@ -166,13 +167,9 @@ class Snapshot:
 
 def validate_snapshot(data: Any) -> List[str]:
     """Schema problems of a would-be snapshot dict ([] when valid)."""
-    problems: List[str] = []
+    problems = stamp_problems(data, SCHEMA_ID)
     if not isinstance(data, Mapping):
-        return ["snapshot is not a JSON object"]
-    if data.get("schema") != SCHEMA_ID:
-        problems.append(
-            f"schema is {data.get('schema')!r}, expected {SCHEMA_ID!r}"
-        )
+        return problems
     if not isinstance(data.get("suite"), str) or not data.get("suite"):
         problems.append("missing or empty 'suite'")
     if not isinstance(data.get("environment"), Mapping):
@@ -212,48 +209,17 @@ def validate_snapshot(data: Any) -> List[str]:
     return problems
 
 
-def _git_commit() -> str:
-    """The current commit hash, or "unknown" outside a git checkout."""
-    try:
-        output = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=5,
-            check=False,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    commit = output.stdout.strip()
-    return commit if output.returncode == 0 and commit else "unknown"
-
-
-def environment_fingerprint() -> Dict[str, Any]:
-    """Where a snapshot was taken: platform, python, commit.
-
-    Timings are only comparable between matching fingerprints; the
-    comparator warns (never gates) when they differ.
-    """
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "machine": platform.machine(),
-        "commit": _git_commit(),
-    }
-
-
-def utc_now() -> str:
-    """The snapshot timestamp: seconds-precision UTC ISO-8601."""
-    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-
-
 def save_snapshot(snapshot: Snapshot, path: Union[str, Path]) -> Path:
     """Write ``snapshot`` as canonical JSON; returns the path."""
     path = Path(path)
     with open(path, "w") as handle:
         json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
+    # Route the snapshot through the run ledger's content-addressed
+    # store when a recording session is active (no-op otherwise).
+    from ..ledger.session import notify_artifact
+
+    notify_artifact("bench-snapshot", path)
     return path
 
 

@@ -457,6 +457,84 @@ def causal_paper_examples(obs, crash_at: float) -> Dict[str, Metric]:
 
 
 @scenario(
+    "ledger.paper_examples",
+    "Run-ledger round trip over both paper examples: record twice, "
+    "dedupe blobs, drift-diff the identical passes",
+    suites=("quick", "full"),
+    failures=1,
+)
+def ledger_paper_examples(obs, failures: int) -> Dict[str, Metric]:
+    # Import here: repro.obs.bench must stay importable without pulling
+    # the ledger subsystem (same leaf discipline as repro.obs).
+    import tempfile
+
+    from ...graphs.io import canonical_problem_json
+    from ..ledger import ArtifactRef, LedgerSession, LedgerStore, detect_drift
+
+    targets = (
+        ("paper:first", examples.first_example_problem(failures=failures),
+         schedule_solution1),
+        ("paper:second", examples.second_example_problem(failures=failures),
+         schedule_solution2),
+    )
+    started = time.perf_counter()
+    blob_writes = 0
+    with tempfile.TemporaryDirectory() as root:
+        store = LedgerStore(root)
+        # Two identical passes: the drift detector must come back clean
+        # and every artifact blob must be stored exactly once.
+        for _ in range(2):
+            for label, problem, method in targets:
+                schedule = method(problem).schedule
+                # Sessions are driven directly (not via the ambient
+                # ledger_session) so the scenario also works when the
+                # bench run itself records into a ledger.
+                session = LedgerSession(store, "bench.ledger",
+                                        argv=["bench"], label=label)
+                session.note_problem(problem)
+                session.note_schedule(schedule)
+                session.note_metric("makespan", schedule.makespan,
+                                    unit="time")
+                content = canonical_problem_json(problem).encode("utf-8")
+                digest = store.put_blob(content)
+                blob_writes += 1
+                session.record.artifacts.append(
+                    ArtifactRef("problem", f"{label}.json", digest,
+                                len(content))
+                )
+                session.finish(0)
+        records = list(store.records())
+        drift = detect_drift(records)
+        if not drift.clean:
+            raise RuntimeError("identical ledger passes drifted")
+        distinct_problems = len({r.problem_hash for r in records})
+        blobs = len(store.blob_digests())
+    wall = time.perf_counter() - started
+    return {
+        # All deterministic: the hashes, the dedupe, and the drift
+        # verdicts are functions of the problems alone.
+        "records": Metric(
+            len(records), unit="records", direction="exact",
+            kind="counter",
+        ),
+        "distinct_problems": Metric(
+            distinct_problems, unit="problems", direction="exact",
+            kind="counter",
+        ),
+        "blob_dedup_ratio": Metric(
+            blob_writes / blobs, unit="x", direction="exact",
+        ),
+        "drift_pairs_compared": Metric(
+            drift.pairs_compared, unit="pairs", direction="exact",
+            kind="counter",
+        ),
+        "ledger_wall_s": Metric(
+            wall, unit="s", direction="lower", kind="timing", noise=0.75,
+        ),
+    }
+
+
+@scenario(
     "schedule.random24.solution1",
     "Solution 1 on a 24-operation random bus workload (scalability probe)",
     suites=("full",),

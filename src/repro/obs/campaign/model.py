@@ -33,7 +33,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ...graphs.problem import Problem
 from ...sim.faults import Crash, FailureScenario, LinkCrash
-from ..bench.model import environment_fingerprint, utc_now
+from ..environment import environment_fingerprint, utc_now
+from ..schema import validate_stamp
 
 __all__ = [
     "SCHEMA_ID",
@@ -290,6 +291,9 @@ def save_campaigns(
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    from ..ledger.session import notify_artifact
+
+    notify_artifact("campaign", path)
     return path
 
 
@@ -299,11 +303,7 @@ def load_campaigns(path: Union[str, Path]) -> List[CampaignResult]:
         data = json.loads(Path(path).read_text())
     except json.JSONDecodeError as error:
         raise ValueError(f"{path} is not valid JSON: {error}") from error
-    if not isinstance(data, Mapping) or data.get("schema") != SCHEMA_ID:
-        raise ValueError(
-            f"{path}: schema is {data.get('schema')!r} "
-            f"(expected {SCHEMA_ID!r}); not a campaign result file"
-        )
+    validate_stamp(data, SCHEMA_ID, required=("targets",), where=str(path))
     targets = data.get("targets")
     if not isinstance(targets, list) or not targets:
         raise ValueError(f"{path}: missing or empty 'targets' list")
@@ -398,6 +398,9 @@ def save_reproducer(
     with open(path, "w") as handle:
         json.dump(dict(reproducer), handle, indent=2, sort_keys=True)
         handle.write("\n")
+    from ..ledger.session import notify_artifact
+
+    notify_artifact("reproducer", path)
     return path
 
 
@@ -407,14 +410,12 @@ def load_reproducer(path: Union[str, Path]) -> Dict[str, Any]:
         data = json.loads(Path(path).read_text())
     except json.JSONDecodeError as error:
         raise ValueError(f"{path} is not valid JSON: {error}") from error
-    if not isinstance(data, Mapping) or data.get("schema") != REPRODUCER_SCHEMA_ID:
-        raise ValueError(
-            f"{path}: schema is {data.get('schema')!r} "
-            f"(expected {REPRODUCER_SCHEMA_ID!r}); not a reproducer file"
-        )
-    for required in ("problem", "method", "scenario"):
-        if required not in data:
-            raise ValueError(f"{path}: reproducer misses {required!r}")
+    validate_stamp(
+        data,
+        REPRODUCER_SCHEMA_ID,
+        required=("problem", "method", "scenario"),
+        where=str(path),
+    )
     return dict(data)
 
 

@@ -256,6 +256,9 @@ def save_report(
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    from ..ledger.session import notify_artifact
+
+    notify_artifact("causal", path)
     return payload
 
 
@@ -263,12 +266,12 @@ def load_report(path: Union[str, Path]) -> Dict[str, Any]:
     """Load + validate a ``repro.obs.causal/1`` artifact (as a dict)."""
     with open(path) as handle:
         payload = json.load(handle)
-    if payload.get("schema") != SCHEMA_ID:
-        raise ValueError(
-            f"{path}: expected schema {SCHEMA_ID!r}, "
-            f"got {payload.get('schema')!r}"
-        )
-    for key in ("critical_path", "graph", "makespan"):
-        if key not in payload:
-            raise ValueError(f"{path}: missing {key!r}")
+    from ..schema import validate_stamp
+
+    validate_stamp(
+        payload,
+        SCHEMA_ID,
+        required=("critical_path", "graph", "makespan"),
+        where=str(path),
+    )
     return payload

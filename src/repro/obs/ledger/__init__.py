@@ -1,0 +1,71 @@
+"""``repro.obs.ledger``: the content-addressed run ledger.
+
+An append-only record of every CLI invocation — what ran, on which
+problem (by canonical content hash from
+:func:`repro.graphs.io.problem_hash`), on which machine, what it
+measured, how it exited, and which artifacts it produced (stored once
+per content digest).  The ledger turns one-off terminal output into
+queryable history: ``repro runs list/show/diff/query/gc/report``.
+
+Layering: like the rest of the heavy observability consumers
+(:mod:`repro.obs.bench`, :mod:`repro.obs.campaign`), this package may
+import the scheduling core; the artifact writers it hooks
+(:func:`~repro.obs.ledger.session.notify_artifact`) stay no-ops until
+the CLI opens a :func:`~repro.obs.ledger.session.ledger_session`.
+
+Submodules
+----------
+:mod:`~repro.obs.ledger.model`
+    The ``repro.obs.ledger/1`` record schema.
+:mod:`~repro.obs.ledger.store`
+    Append-only records + content-addressed blobs on disk, with gc.
+:mod:`~repro.obs.ledger.session`
+    The ambient recording session and its no-op annotation hooks.
+:mod:`~repro.obs.ledger.query`
+    Filters and the ``repro runs`` text views.
+:mod:`~repro.obs.ledger.drift`
+    Drift detection via the direction-aware bench comparator.
+:mod:`~repro.obs.ledger.dashboard`
+    The longitudinal HTML dashboard.
+"""
+
+from .dashboard import render_ledger_dashboard
+from .drift import DriftReport, detect_drift, diff_records, record_metrics
+from .model import LEDGER_SCHEMA_ID, ArtifactRef, LedgerRecord
+from .query import RunFilter, filter_records, render_record, runs_table
+from .session import (
+    LedgerSession,
+    current_session,
+    ledger_session,
+    note_metric,
+    note_problem,
+    note_schedule,
+    notify_artifact,
+)
+from .store import DEFAULT_LEDGER_DIR, GcReport, LedgerStore, new_run_id
+
+__all__ = [
+    "LEDGER_SCHEMA_ID",
+    "DEFAULT_LEDGER_DIR",
+    "ArtifactRef",
+    "DriftReport",
+    "GcReport",
+    "LedgerRecord",
+    "LedgerSession",
+    "LedgerStore",
+    "RunFilter",
+    "current_session",
+    "detect_drift",
+    "diff_records",
+    "filter_records",
+    "ledger_session",
+    "new_run_id",
+    "note_metric",
+    "note_problem",
+    "note_schedule",
+    "notify_artifact",
+    "record_metrics",
+    "render_ledger_dashboard",
+    "render_record",
+    "runs_table",
+]

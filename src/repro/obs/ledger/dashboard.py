@@ -1,0 +1,198 @@
+"""The longitudinal ledger dashboard: record history -> standalone HTML.
+
+One self-contained HTML page (no external assets, viewable from a CI
+artifact or ``file://``) charting how each tracked problem behaved
+over real run history:
+
+* a header card with record count, time span, distinct problems, and
+  the latest environment fingerprint;
+* a run summary table (one row per run, like ``repro runs list``);
+* per (problem hash, command) lineage, one table with each metric's
+  latest value, change since the lineage's first run, an inline SVG
+  sparkline (:func:`repro.analysis.svg.sparkline`) over the whole
+  history, and a drift badge from the latest-vs-previous comparison
+  via :func:`repro.obs.ledger.drift.diff_records`.
+
+Wall clock is always charted (``wall_s`` per run) even though timing
+metrics never gate drift — watching it trend is the point of keeping
+history.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence, Tuple
+
+from ...analysis.report import HtmlCell, Table, format_value
+from ...analysis.svg import sparkline
+from .drift import diff_records, record_metrics
+from .model import LedgerRecord
+from .query import runs_table
+
+__all__ = ["render_ledger_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1b1b1b; background: #fafafa; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.env { color: #555; font-size: 0.85rem; margin-bottom: 1.5rem; }
+table.report { border-collapse: collapse; background: white;
+               box-shadow: 0 1px 2px rgba(0,0,0,0.08);
+               margin-top: 1.5rem; }
+table.report caption { text-align: left; font-weight: 600;
+                       padding: 0.4rem 0; }
+table.report th, table.report td { border: 1px solid #ddd;
+    padding: 0.3rem 0.6rem; font-size: 0.9rem; text-align: left; }
+table.report th { background: #f0f0f0; }
+.badge { display: inline-block; padding: 0.1rem 0.5rem;
+         border-radius: 0.6rem; font-size: 0.8rem; color: white; }
+.badge.ok { background: #2a7; } .badge.improved { background: #17a; }
+.badge.regressed { background: #c33; } .badge.added { background: #888; }
+.badge.removed { background: #c80; } .badge.new { background: #888; }
+td svg { vertical-align: middle; }
+"""
+
+_VERDICT_COLOR = {
+    "regressed": "#c33",
+    "improved": "#17a",
+    "ok": "#1a6",
+    "added": "#888",
+}
+
+
+def _badge(verdict: str) -> HtmlCell:
+    return HtmlCell(
+        markup=f'<span class="badge {html.escape(verdict)}">'
+        f"{html.escape(verdict)}</span>",
+        text=verdict,
+    )
+
+
+def _lineages(
+    records: Sequence[LedgerRecord],
+) -> Dict[Tuple[str, str], List[LedgerRecord]]:
+    lineages: Dict[Tuple[str, str], List[LedgerRecord]] = {}
+    for record in records:
+        if not record.problem_hash and not record.metrics:
+            continue
+        lineages.setdefault(
+            (record.problem_hash, record.command), []
+        ).append(record)
+    for history in lineages.values():
+        history.sort(key=lambda r: r.run_id)
+    return lineages
+
+
+def _lineage_table(
+    key: Tuple[str, str], history: Sequence[LedgerRecord]
+) -> Table:
+    problem, command = key
+    latest = history[-1]
+    verdicts: Dict[str, str] = {}
+    if len(history) > 1:
+        report = diff_records(history[-2], latest, include_timings=True)
+        verdicts = {d.metric: d.verdict for d in report.deltas}
+
+    title = (
+        f"{command} — problem {problem[:12]}" if problem
+        else f"{command} (no problem)"
+    )
+    table = Table(
+        headers=("metric", "latest", "unit", "vs first", "trend", "status"),
+        title=f"{title} · {len(history)} run(s)",
+    )
+
+    names = sorted(
+        {name for record in history for name in record_metrics(record)}
+    )
+    for name in [*names, "wall_s"]:
+        series: List[float] = []
+        unit = "s" if name == "wall_s" else ""
+        for record in history:
+            if name == "wall_s":
+                series.append(record.wall_s)
+                continue
+            metric = record_metrics(record).get(name)
+            if metric is not None:
+                series.append(metric.value)
+                unit = metric.unit or unit
+        if not series:
+            continue
+        latest_value, first = series[-1], series[0]
+        vs_first = (
+            f"{(latest_value - first) / abs(first):+.2%}" if first else "-"
+        )
+        verdict = (
+            verdicts.get(name, "new") if name != "wall_s" else "ok"
+        )
+        color = _VERDICT_COLOR.get(verdict, "#888")
+        table.add(
+            name,
+            latest_value,
+            unit,
+            vs_first,
+            HtmlCell(
+                markup=sparkline(
+                    series, color=color,
+                    label=f"{command}:{name} over runs",
+                ),
+                text=" ".join(format_value(v) for v in series),
+            ),
+            _badge(verdict),
+        )
+    return table
+
+
+def render_ledger_dashboard(
+    records: Sequence[LedgerRecord],
+    title: str = "repro run ledger",
+) -> str:
+    """Render a record history as one standalone HTML document."""
+    if not records:
+        raise ValueError("no ledger records to render")
+    ordered = sorted(records, key=lambda r: r.run_id)
+    latest = ordered[-1]
+
+    lineages = _lineages(ordered)
+    drift_count = 0
+    for history in lineages.values():
+        if len(history) > 1:
+            report = diff_records(history[-2], history[-1])
+            drift_count += len(report.regressions) + len(report.removed)
+
+    env = latest.environment
+    env_line = ", ".join(
+        f"{key}={env.get(key, '?')}"
+        for key in ("platform", "python", "commit")
+    )
+    status = (
+        f'<span class="badge regressed">{drift_count} drifted metric(s) '
+        "in the latest runs</span>"
+        if drift_count
+        else '<span class="badge ok">no drift in the latest runs</span>'
+    )
+    span = (
+        f"{ordered[0].created} → {latest.created}"
+        if len(ordered) > 1
+        else latest.created
+    )
+    problems = {
+        record.problem_hash for record in ordered if record.problem_hash
+    }
+
+    sections = [runs_table(ordered).render_html()]
+    for key in sorted(lineages):
+        sections.append(_lineage_table(key, lineages[key]).render_html())
+
+    return (
+        "<!DOCTYPE html>\n<html>\n<head>\n"
+        f"<meta charset=\"utf-8\">\n<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"<h1>{html.escape(title)}</h1>\n"
+        f"<p>{status}</p>\n"
+        f'<p class="env">{len(ordered)} run(s) · '
+        f"{len(problems)} distinct problem(s) · {html.escape(span)} · "
+        f"{html.escape(env_line)}</p>\n"
+        + "\n".join(sections)
+        + "\n</body>\n</html>\n"
+    )

@@ -1,0 +1,157 @@
+"""Drift detection over ledger records, via the bench comparator.
+
+Two records of the *same problem and command* should agree on their
+quality metrics (makespan, pass rate, ``subsets_checked``); when they
+do not, something drifted — the code, the environment, or the
+determinism claim itself.  Rather than invent a second comparison
+engine, each record's metrics are folded into a synthetic one-scenario
+bench :class:`~repro.obs.bench.model.Snapshot` and handed to the
+direction-aware, noise-thresholded
+:func:`~repro.obs.bench.compare.compare_snapshots`.
+
+Timing metrics (``kind == "timing"``) are excluded by default: two
+byte-identical runs still differ in wall clock, and "identical config
+=> zero drift" is the contract ``repro runs diff`` is held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..bench.compare import ComparisonReport, compare_snapshots
+from ..bench.model import Metric, ScenarioRun, Snapshot
+from .model import LedgerRecord
+
+__all__ = ["DriftReport", "detect_drift", "diff_records", "record_metrics"]
+
+#: Obs counters folded into the comparison alongside explicit metrics.
+#: Counters are exactly reproducible by design, so any movement in
+#: them between identical configs is drift worth flagging.
+_COUNTER_DIRECTION = "exact"
+
+
+def record_metrics(record: LedgerRecord) -> Dict[str, Metric]:
+    """A record's comparator-ready metrics: explicit + obs counters."""
+    metrics: Dict[str, Metric] = {}
+    for name, entry in record.metrics.items():
+        try:
+            metrics[name] = Metric.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            continue
+    for name, value in record.obs.get("counters", {}).items():
+        key = f"obs.{name}"
+        if key not in metrics and isinstance(value, (int, float)):
+            metrics[key] = Metric(
+                value=float(value),
+                direction=_COUNTER_DIRECTION,
+                kind="counter",
+            )
+    return metrics
+
+
+def _as_snapshot(record: LedgerRecord, scenario: str) -> Snapshot:
+    snapshot = Snapshot(
+        suite="ledger",
+        environment=dict(record.environment),
+        created=record.created,
+        label=record.run_id,
+    )
+    snapshot.add(
+        ScenarioRun(name=scenario, metrics=record_metrics(record))
+    )
+    return snapshot
+
+
+def diff_records(
+    baseline: LedgerRecord,
+    current: LedgerRecord,
+    include_timings: bool = False,
+    noise_scale: float = 1.0,
+) -> ComparisonReport:
+    """Compare two records metric-by-metric; baseline first.
+
+    Returns the same :class:`ComparisonReport` the bench comparator
+    produces, so ``.gate()`` gives the CI exit code and ``.render()``
+    the human table.  The scenario axis is collapsed to a single
+    ``run`` row: the records themselves name what ran.
+    """
+    return compare_snapshots(
+        _as_snapshot(baseline, "run"),
+        _as_snapshot(current, "run"),
+        include_timings=include_timings,
+        noise_scale=noise_scale,
+    )
+
+
+@dataclass
+class DriftReport:
+    """All drift found across a record history, grouped by lineage."""
+
+    #: (problem_hash, command) -> consecutive-pair comparison reports
+    #: that contain at least one regression or removal.
+    drifted: Dict[Tuple[str, str], List[ComparisonReport]] = field(
+        default_factory=dict
+    )
+    pairs_compared: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifted
+
+    def render(self) -> str:
+        if self.clean:
+            return (
+                f"drift: {self.pairs_compared} consecutive run pair(s) "
+                "compared, no drift"
+            )
+        lines = [
+            f"drift: {len(self.drifted)} lineage(s) drifted "
+            f"({self.pairs_compared} pair(s) compared)"
+        ]
+        for (problem, command), reports in sorted(self.drifted.items()):
+            lines.append(
+                f"  problem {problem[:12] or '(none)'} / {command}:"
+            )
+            for report in reports:
+                for delta in report.regressions + report.removed:
+                    lines.append(
+                        f"    {report.baseline_label} -> "
+                        f"{report.current_label}: {delta.describe()}"
+                    )
+        return "\n".join(lines)
+
+
+def detect_drift(
+    records: Iterable[LedgerRecord],
+    include_timings: bool = False,
+    noise_scale: float = 1.0,
+) -> DriftReport:
+    """Scan a record history for drift within each lineage.
+
+    Records are grouped by (problem hash, command) and each
+    consecutive pair inside a group is diffed; pairs with regressions
+    or removals land in the report.  Records with no problem hash and
+    no metrics are skipped — there is nothing to drift.
+    """
+    lineages: Dict[Tuple[str, str], List[LedgerRecord]] = {}
+    for record in records:
+        if not record.problem_hash and not record.metrics:
+            continue
+        lineages.setdefault(
+            (record.problem_hash, record.command), []
+        ).append(record)
+
+    report = DriftReport()
+    for key, history in lineages.items():
+        history.sort(key=lambda r: r.run_id)
+        for baseline, current in zip(history, history[1:]):
+            comparison = diff_records(
+                baseline, current,
+                include_timings=include_timings,
+                noise_scale=noise_scale,
+            )
+            report.pairs_compared += 1
+            if comparison.regressions or comparison.removed:
+                report.drifted.setdefault(key, []).append(comparison)
+    return report

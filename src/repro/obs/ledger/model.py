@@ -1,0 +1,153 @@
+"""The run-ledger data model: one schema-stamped record per invocation.
+
+A *ledger record* (``repro.obs.ledger/1``) is the durable memory of
+one CLI invocation: what command ran, on which problem (by canonical
+content hash), on which machine, what it measured, how it exited, and
+which artifacts it produced (by content digest, deduplicated in the
+store).  Bench snapshots remember benchmark runs; the ledger remembers
+*every* run, so the paper's longitudinal claims (overheads, tolerance
+vs. makespan trade-offs) can be re-examined over real history instead
+of a single session's stdout.
+
+Metrics carry the same ``value/unit/direction/kind/noise`` shape as
+:class:`repro.obs.bench.model.Metric`, so the direction-aware bench
+comparator diffs two records without translation
+(:mod:`repro.obs.ledger.drift`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+from ..schema import stamp, validate_stamp
+
+__all__ = ["LEDGER_SCHEMA_ID", "ArtifactRef", "LedgerRecord"]
+
+#: Schema identifier stamped into (and required of) every record.
+LEDGER_SCHEMA_ID = "repro.obs.ledger/1"
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """One produced artifact, by kind, original name, and content digest."""
+
+    kind: str
+    name: str
+    digest: str
+    size: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "digest": self.digest,
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArtifactRef":
+        return cls(
+            kind=str(data.get("kind", "")),
+            name=str(data.get("name", "")),
+            digest=str(data["digest"]),
+            size=int(data.get("size", 0)),
+        )
+
+
+@dataclass
+class LedgerRecord:
+    """Everything the ledger remembers about one invocation."""
+
+    run_id: str
+    created: str
+    command: str
+    #: The invocation's argument vector, with the ledger's own flags
+    #: stripped (two runs differing only in where they logged are the
+    #: same run).
+    argv: List[str] = field(default_factory=list)
+    exit_code: int = 0
+    #: Canonical content hash of the (first) problem the run operated
+    #: on; empty for problem-less invocations (``bench list``, ...).
+    problem_hash: str = ""
+    #: Every problem hash the run touched (multi-target commands like
+    #: ``campaign run --suite smoke``), primary first.
+    problem_hashes: List[str] = field(default_factory=list)
+    #: Canonical content hash of the (last) schedule the run produced.
+    schedule_hash: str = ""
+    wall_s: float = 0.0
+    environment: Dict[str, Any] = field(default_factory=dict)
+    #: Comparator-ready quality/counter/timing metrics, in the bench
+    #: ``Metric`` dict shape.
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: The full obs-registry snapshot of the run's instrumented
+    #: session (counters, gauges, histogram digests).
+    obs: Dict[str, Any] = field(default_factory=dict)
+    artifacts: List[ArtifactRef] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def verdict(self) -> str:
+        """``ok`` (exit 0) or ``fail`` — the queryable outcome."""
+        return "ok" if self.exit_code == 0 else "fail"
+
+    def metric_value(self, name: str) -> Any:
+        entry = self.metrics.get(name)
+        return entry.get("value") if entry else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return stamp(
+            LEDGER_SCHEMA_ID,
+            {
+                "run_id": self.run_id,
+                "created": self.created,
+                "command": self.command,
+                "argv": list(self.argv),
+                "exit_code": self.exit_code,
+                "verdict": self.verdict,
+                "problem_hash": self.problem_hash,
+                "problem_hashes": list(self.problem_hashes),
+                "schedule_hash": self.schedule_hash,
+                "wall_s": self.wall_s,
+                "environment": dict(self.environment),
+                "metrics": {
+                    name: dict(entry)
+                    for name, entry in sorted(self.metrics.items())
+                },
+                "obs": dict(self.obs),
+                "artifacts": [ref.to_dict() for ref in self.artifacts],
+                "label": self.label,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LedgerRecord":
+        validate_stamp(
+            data,
+            LEDGER_SCHEMA_ID,
+            required=("run_id", "created", "command"),
+        )
+        return cls(
+            run_id=str(data["run_id"]),
+            created=str(data["created"]),
+            command=str(data["command"]),
+            argv=[str(a) for a in data.get("argv", [])],
+            exit_code=int(data.get("exit_code", 0)),
+            problem_hash=str(data.get("problem_hash", "")),
+            problem_hashes=[
+                str(h) for h in data.get("problem_hashes", [])
+            ],
+            schedule_hash=str(data.get("schedule_hash", "")),
+            wall_s=float(data.get("wall_s", 0.0)),
+            environment=dict(data.get("environment", {})),
+            metrics={
+                name: dict(entry)
+                for name, entry in data.get("metrics", {}).items()
+            },
+            obs=dict(data.get("obs", {})),
+            artifacts=[
+                ArtifactRef.from_dict(ref)
+                for ref in data.get("artifacts", [])
+            ],
+            label=str(data.get("label", "")),
+        )

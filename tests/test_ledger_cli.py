@@ -1,0 +1,213 @@
+"""End-to-end tests of the run ledger through the CLI.
+
+The acceptance story of the ledger: run twice with ``--ledger``, get
+two records sharing one problem hash and one deduplicated artifact
+blob; ``runs diff`` reports zero drift for identical configs and exit
+1 for an injected makespan regression; ``REPRO_LEDGER`` works without
+flags; ``runs`` itself is never recorded.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import load_problem, save_problem
+from repro.obs.ledger import LedgerStore
+from repro.paper.examples import first_example_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    save_problem(first_example_problem(failures=1), path)
+    return str(path)
+
+
+@pytest.fixture
+def ledger_dir(tmp_path):
+    return str(tmp_path / "ledger")
+
+
+def _run(ledger_dir, *argv):
+    return main(["--ledger-dir", ledger_dir, *argv])
+
+
+class TestRecording:
+    def test_two_runs_share_problem_hash_and_blob(
+        self, problem_file, ledger_dir, tmp_path, capsys
+    ):
+        out = str(tmp_path / "proof.json")
+        assert _run(ledger_dir, "prove", problem_file, "--out", out) == 0
+        assert _run(ledger_dir, "prove", problem_file, "--out", out) == 0
+        err = capsys.readouterr().err
+        assert err.count("ledger: recorded run") == 2
+
+        store = LedgerStore(ledger_dir)
+        records = list(store.records())
+        assert len(records) == 2
+        first, second = records
+        assert first.problem_hash and (
+            first.problem_hash == second.problem_hash
+        )
+        assert first.schedule_hash == second.schedule_hash
+        assert first.metric_value("makespan") == pytest.approx(9.4)
+        assert first.metric_value("proof.subsets_checked") is not None
+        # The echo-identical proof artifact is stored exactly once.
+        assert len(first.artifacts) == len(second.artifacts) == 1
+        assert first.artifacts[0].digest == second.artifacts[0].digest
+        assert len(store.blob_digests()) == 1
+
+    def test_record_carries_obs_snapshot_and_argv(
+        self, problem_file, ledger_dir, capsys
+    ):
+        assert _run(ledger_dir, "schedule", problem_file) == 0
+        record = next(LedgerStore(ledger_dir).records())
+        assert record.command == "schedule"
+        # The ledger's own flags are stripped from the recorded argv.
+        assert record.argv == ["schedule", problem_file]
+        assert record.obs.get("counters", {}).get("scheduler.steps")
+        assert record.environment.get("python")
+        assert record.wall_s > 0
+
+    def test_failed_run_is_recorded_with_its_exit_code(
+        self, ledger_dir, tmp_path, capsys
+    ):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json")
+        with pytest.raises(SystemExit):
+            _run(ledger_dir, "schedule", str(bogus))
+        record = next(LedgerStore(ledger_dir).records())
+        # `SystemExit("error: ...")` makes the interpreter exit 1.
+        assert record.verdict == "fail" and record.exit_code == 1
+
+    def test_env_var_enables_recording(
+        self, problem_file, ledger_dir, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_LEDGER", ledger_dir)
+        assert main(["schedule", problem_file]) == 0
+        assert len(LedgerStore(ledger_dir).run_ids()) == 1
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert main(["schedule", problem_file]) == 0
+        assert len(LedgerStore(ledger_dir).run_ids()) == 1  # unchanged
+
+    def test_runs_commands_are_never_recorded(
+        self, problem_file, ledger_dir, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_LEDGER", ledger_dir)
+        assert main(["schedule", problem_file]) == 0
+        assert main(["runs", "list"]) == 0
+        assert len(LedgerStore(ledger_dir).run_ids()) == 1
+
+    def test_campaign_smoke_records_pass_rate(
+        self, ledger_dir, capsys
+    ):
+        assert _run(
+            ledger_dir, "campaign", "run", "--suite", "smoke",
+            "--max-scenarios", "2", "--random-strata", "0",
+        ) == 0
+        record = next(LedgerStore(ledger_dir).records())
+        assert record.command == "campaign run"
+        assert record.metric_value("campaign.pass_rate") == 1.0
+        assert len(record.problem_hashes) == 2
+
+
+class TestRunsCommands:
+    def _seed(self, ledger_dir, problem_file):
+        _run(ledger_dir, "schedule", problem_file)
+        _run(ledger_dir, "schedule", problem_file)
+        store = LedgerStore(ledger_dir)
+        return store, store.run_ids()
+
+    def test_list_show_query(
+        self, problem_file, ledger_dir, capsys
+    ):
+        store, ids = self._seed(ledger_dir, problem_file)
+        capsys.readouterr()
+        assert main(["runs", "list", "--dir", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert all(run_id in out for run_id in ids)
+        assert "2 run(s)" in out
+
+        assert main(["runs", "show", ids[0], "--dir", ledger_dir]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+        assert main(
+            ["runs", "show", ids[0], "--dir", ledger_dir, "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == "repro.obs.ledger/1"
+
+        assert main(
+            ["runs", "query", "--dir", ledger_dir, "--verdict", "ok"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["command"] == "schedule"
+
+    def test_diff_identical_runs_reports_zero_drift(
+        self, problem_file, ledger_dir, capsys
+    ):
+        _, ids = self._seed(ledger_dir, problem_file)
+        capsys.readouterr()
+        assert main(
+            ["runs", "diff", ids[0], ids[1], "--dir", ledger_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_diff_defaults_to_newest_two_runs(
+        self, problem_file, ledger_dir, capsys
+    ):
+        self._seed(ledger_dir, problem_file)
+        capsys.readouterr()
+        assert main(["runs", "diff", "--dir", ledger_dir]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # One run is not enough to diff by default.
+        lone = ledger_dir + "-single"
+        _run(lone, "schedule", problem_file)
+        capsys.readouterr()
+        assert main(["runs", "diff", "--dir", lone]) == 2
+        assert "need two recorded runs" in capsys.readouterr().err
+
+    def test_diff_flags_injected_makespan_regression(
+        self, problem_file, ledger_dir, capsys
+    ):
+        store, ids = self._seed(ledger_dir, problem_file)
+        # Inject a regression into the newest record on disk.
+        path = store.records_dir / f"{ids[1]}.json"
+        data = json.loads(path.read_text())
+        data["metrics"]["makespan"]["value"] += 1.0
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(
+            ["runs", "diff", ids[0], ids[1], "--dir", ledger_dir]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "makespan" in out
+
+        assert main(["runs", "drift", "--dir", ledger_dir]) == 1
+        assert "drifted" in capsys.readouterr().out
+
+    def test_gc_and_report(
+        self, problem_file, ledger_dir, tmp_path, capsys
+    ):
+        store, ids = self._seed(ledger_dir, problem_file)
+        page = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(
+            ["runs", "report", "--dir", ledger_dir, "--out", str(page)]
+        ) == 0
+        html = page.read_text()
+        assert "<svg" in html and "makespan" in html
+
+        assert main(
+            ["runs", "gc", "--dir", ledger_dir, "--keep", "1"]
+        ) == 0
+        assert store.run_ids() == [ids[1]]
+
+    def test_empty_ledger_messages(self, ledger_dir, capsys):
+        assert main(["runs", "list", "--dir", ledger_dir]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+        assert main(["runs", "report", "--dir", ledger_dir]) == 2
+        assert "no runs recorded" in capsys.readouterr().err

@@ -1,0 +1,146 @@
+"""The canonical problem hash: the ledger's identity for a problem.
+
+``problem_hash`` must be a *content* hash: invariant under key and
+list reordering, invariant under a save/load round-trip, stable across
+processes (the golden fixture), and distinct for distinct problems —
+otherwise the run ledger would either split one problem's history into
+several lineages or merge unrelated ones.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.generators import layered_dag, random_problem
+from repro.graphs.io import (
+    canonical_problem_json,
+    load_problem,
+    problem_from_dict,
+    problem_hash,
+    problem_to_dict,
+    save_problem,
+    schedule_hash,
+)
+from repro.graphs.architecture import bus_architecture
+from repro.core import schedule_solution1
+from repro.paper.examples import (
+    first_example_problem,
+    second_example_problem,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "fixtures" / "problem_hash_golden.json")
+    .read_text()
+)
+
+
+def _shuffled(value, rng):
+    """Deep-copy with every dict's key order and every list reversed
+    or shuffled — same content, different serialization order."""
+    if isinstance(value, dict):
+        items = [(k, _shuffled(v, rng)) for k, v in value.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        items = [_shuffled(v, rng) for v in value]
+        rng.shuffle(items)
+        return items
+    return value
+
+
+def test_golden_hashes_are_stable():
+    """The paper examples hash to their committed golden values.
+
+    A failure here means the canonical form changed — which silently
+    orphans every existing ledger lineage.  Bump the schema instead.
+    """
+    assert problem_hash(first_example_problem(failures=1)) == (
+        GOLDEN["paper-first"]
+    )
+    assert problem_hash(second_example_problem(failures=1)) == (
+        GOLDEN["paper-second"]
+    )
+
+
+def test_hash_accepts_problem_or_dict():
+    problem = first_example_problem(failures=1)
+    assert problem_hash(problem) == problem_hash(problem_to_dict(problem))
+
+
+def test_hash_invariant_under_reordering():
+    problem = first_example_problem(failures=1)
+    data = problem_to_dict(problem)
+    reference = problem_hash(data)
+    for seed in range(10):
+        rng = random.Random(seed)
+        assert problem_hash(_shuffled(data, rng)) == reference
+
+
+def test_hash_invariant_under_roundtrip(tmp_path):
+    problem = second_example_problem(failures=1)
+    reference = problem_hash(problem)
+    path = tmp_path / "problem.json"
+    save_problem(problem, path)
+    assert problem_hash(load_problem(str(path))) == reference
+    # ... and through the dict layer explicitly.
+    rebuilt = problem_from_dict(problem_to_dict(problem))
+    assert problem_hash(rebuilt) == reference
+
+
+def test_canonical_json_is_deterministic():
+    problem = first_example_problem(failures=1)
+    first = canonical_problem_json(problem)
+    second = canonical_problem_json(problem_to_dict(problem))
+    assert first == second
+    # Canonical form is compact and sorted; parsing it back must work.
+    assert json.loads(first)["name"] == problem.name
+
+
+def test_distinct_problems_hash_distinctly():
+    """Paper examples plus 20 seeded random problems: all distinct."""
+    hashes = {
+        problem_hash(first_example_problem(failures=1)),
+        problem_hash(second_example_problem(failures=1)),
+    }
+    architecture = bus_architecture(("P1", "P2", "P3"))
+    for seed in range(20):
+        algorithm = layered_dag((2, 3, 2), density=0.6, seed=seed)
+        problem = random_problem(
+            algorithm, architecture, failures=1, seed=seed
+        )
+        hashes.add(problem_hash(problem))
+    assert len(hashes) == 22
+
+
+def test_hash_sensitive_to_every_section():
+    """Touching any one section of the problem moves the hash."""
+    base = problem_to_dict(first_example_problem(failures=1))
+    reference = problem_hash(base)
+
+    mutated = problem_to_dict(first_example_problem(failures=1))
+    mutated["failures"] = 2
+    assert problem_hash(mutated) != reference
+
+    mutated = problem_to_dict(first_example_problem(failures=1))
+    mutated["execution"][0]["duration"] += 0.5
+    assert problem_hash(mutated) != reference
+
+    mutated = problem_to_dict(first_example_problem(failures=1))
+    mutated["communication"][0]["duration"] += 0.5
+    assert problem_hash(mutated) != reference
+
+
+def test_schedule_hash_deterministic_and_distinct():
+    first = first_example_problem(failures=1)
+    second = second_example_problem(failures=1)
+    hash_a = schedule_hash(schedule_solution1(first).schedule)
+    hash_b = schedule_hash(schedule_solution1(first).schedule)
+    assert hash_a == hash_b
+    assert hash_a != schedule_hash(schedule_solution1(second).schedule)
+
+
+def test_hash_rejects_non_problem():
+    with pytest.raises((KeyError, TypeError, ValueError)):
+        problem_hash({"schema": "not-a-problem"})

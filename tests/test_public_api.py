@@ -45,6 +45,8 @@ MODULES = [
     "repro.obs.tracing",
     "repro.obs.decisions",
     "repro.obs.runtime",
+    "repro.obs.environment",
+    "repro.obs.schema",
     "repro.obs.bench",
     "repro.obs.bench.model",
     "repro.obs.bench.registry",
@@ -58,6 +60,13 @@ MODULES = [
     "repro.obs.campaign.executor",
     "repro.obs.campaign.diagnose",
     "repro.obs.campaign.report",
+    "repro.obs.ledger",
+    "repro.obs.ledger.model",
+    "repro.obs.ledger.store",
+    "repro.obs.ledger.session",
+    "repro.obs.ledger.query",
+    "repro.obs.ledger.drift",
+    "repro.obs.ledger.dashboard",
     "repro.obs.causal",
     "repro.obs.causal.graph",
     "repro.obs.causal.critical",
